@@ -1,0 +1,34 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one paper artifact via its experiment runner.
+The simulations are deterministic, so a single round measures the
+end-to-end cost of regenerating the figure; the benchmark *value* is the
+wall-clock of the reproduction pipeline, and the figure's own numbers are
+attached as extra_info for inspection in the saved benchmark JSON.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def run_and_check(benchmark, exp_id, checker=None):
+    """Benchmark one experiment and attach its headline numbers."""
+    result = benchmark.pedantic(
+        run_experiment, args=(exp_id,), kwargs={"quick": True},
+        rounds=1, iterations=1,
+    )
+    assert result.tables, f"{exp_id} produced no tables"
+    benchmark.extra_info["experiment"] = exp_id
+    benchmark.extra_info["title"] = result.title
+    if checker is not None:
+        checker(result)
+    return result
+
+
+@pytest.fixture
+def check(benchmark):
+    def _check(exp_id, checker=None):
+        return run_and_check(benchmark, exp_id, checker)
+
+    return _check

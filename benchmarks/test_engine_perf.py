@@ -1,0 +1,79 @@
+"""Meta-benchmarks: the discrete-event engine's own performance.
+
+These are real wall-clock measurements (the only ones in the repo):
+events processed per second bound how large a per-request experiment can
+get, so regressions here directly shrink the feasible sweep sizes.
+"""
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_timeout_event_throughput(benchmark):
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(20_000):
+                yield env.timeout(1.0)
+
+        env.run(env.process(ticker()))
+        return env.now
+
+    result = benchmark(run)
+    assert result == 20_000.0
+
+
+def test_resource_contention_throughput(benchmark):
+    def run():
+        env = Environment()
+        resource = Resource(env, capacity=4)
+
+        def user():
+            for _ in range(500):
+                with resource.request() as req:
+                    yield req
+                    yield env.timeout(0.1)
+
+        for _ in range(16):
+            env.process(user())
+        env.run()
+        return env.now
+
+    benchmark(run)
+
+
+def test_store_producer_consumer_throughput(benchmark):
+    def run():
+        env = Environment()
+        store = Store(env, capacity=64)
+
+        def producer():
+            for item in range(5_000):
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(5_000):
+                yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+
+    benchmark(run)
+
+
+def test_microbench_requests_per_second(benchmark):
+    """End-to-end: simulated 4 KiB requests through the CAM plane."""
+    from repro.backends import make_backend, measure_throughput
+    from repro.config import PlatformConfig
+    from repro.hw.platform import Platform
+
+    def run():
+        platform = Platform(PlatformConfig(num_ssds=4), functional=False)
+        backend = make_backend("cam", platform)
+        return measure_throughput(
+            backend, 4096, total_requests=1000, concurrency=128
+        )
+
+    rate = benchmark(run)
+    assert rate > 0

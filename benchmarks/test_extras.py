@@ -1,0 +1,77 @@
+"""Benchmarks: ablation studies and the ANNS motivation number.
+
+These are the design-choice ablations DESIGN.md calls out: overlap,
+direct data path, and dynamic core adjustment, plus the Section II ANNS
+study and the file-fragmentation sensitivity of the GDS baseline.
+"""
+
+
+def test_anns_motivation(check):
+    def verify(result):
+        fractions = dict(
+            zip(result.tables[0].column("system"),
+                result.tables[0].column("memcpy_fraction"))
+        )
+        assert fractions["spdk"] > 0.6 and fractions["cam"] == 0.0
+
+    check("anns", verify)
+
+
+def test_ablation_overlap(check):
+    def verify(result):
+        assert all(s > 1.0 for s in result.tables[0].column("slowdown"))
+
+    check("ablation_overlap", verify)
+
+
+def test_ablation_datapath(check):
+    check("ablation_datapath")
+
+
+def test_ablation_autotune(check):
+    def verify(result):
+        cores = result.tables[0].column("final_cores")
+        assert min(cores) == 3 and max(cores) == 6
+
+    check("ablation_autotune", verify)
+
+
+def test_fragmentation(check):
+    def verify(result):
+        rates = result.tables[0].column("gds_GB/s")
+        assert rates[-1] < rates[0]
+
+    check("fragmentation", verify)
+
+
+def test_dlrm_motivation(check):
+    def verify(result):
+        assert all(result.tables[0].column("verified"))
+
+    check("dlrm", verify)
+
+
+def test_llm_motivation(check):
+    def verify(result):
+        assert all(result.tables[0].column("verified"))
+
+    check("llm", verify)
+
+
+def test_latency_under_load(check):
+    check("latency")
+
+
+def test_host_cache(check):
+    check("host_cache")
+
+
+def test_paper_scale_gnn(check):
+    def verify(result):
+        assert all(s > 1.2 for s in result.tables[0].column("speedup"))
+
+    check("paper_scale_gnn", verify)
+
+
+def test_ssd_characterization(check):
+    check("ssd_character")

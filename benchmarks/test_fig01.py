@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 1 (GIDS GNN time breakdown)."""
+
+
+def test_fig01_gids_breakdown(check):
+    def verify(result):
+        extract = result.tables[0].column("extract")
+        assert all(0.4 <= e <= 0.7 for e in extract)
+
+    check("fig01", verify)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 2 (kernel I/O stack throughput)."""
+
+
+def test_fig02_io_stacks(check):
+    def verify(result):
+        table = result.table("4 KiB random read (GB/s)")
+        values = table.column("measured (DES)")
+        assert values == sorted(values)  # POSIX..poll..SSD max ordering
+
+    check("fig02", verify)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 3 (kernel layer time breakdown)."""
+
+
+def test_fig03_layer_breakdown(check):
+    def verify(result):
+        for table in result.tables:
+            assert all(v > 0.34 for v in table.column("fs+iomap"))
+
+    check("fig03", verify)

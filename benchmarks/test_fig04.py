@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 4 (BaM SM utilization vs SSD count)."""
+
+
+def test_fig04_bam_sm_util(check):
+    def verify(result):
+        util = result.tables[0].column("sm_utilization_%")
+        assert util == sorted(util) and util[-1] == 100.0
+
+    check("fig04", verify)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 8 (I/O throughput, four panels)."""
+
+
+def test_fig08_throughput(check):
+    def verify(result):
+        table = result.table(
+            "random read, 4 KiB, vs SSD count (GB/s, model)"
+        )
+        final = dict(zip(table.columns, table.rows[-1]))
+        assert final["cam"] > 18 and final["posix"] < 3
+
+    check("fig08", verify)

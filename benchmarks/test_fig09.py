@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 9 (GNN end-to-end, CAM vs GIDS)."""
+
+
+def test_fig09_gnn_end2end(check):
+    def verify(result):
+        speedups = result.tables[0].column("speedup")
+        assert all(s > 1.05 for s in speedups)
+        assert max(s for s in speedups) < 2.0  # paper: up to 1.84x
+
+    check("fig09", verify)

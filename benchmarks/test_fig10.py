@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 10 (sort + GEMM end-to-end)."""
+
+
+def test_fig10_sort_gemm(check):
+    def verify(result):
+        assert all(result.tables[0].column("verified"))
+        assert all(result.tables[1].column("verified"))
+
+    check("fig10", verify)

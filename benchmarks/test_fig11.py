@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 11 (sync vs async APIs)."""
+
+
+def test_fig11_sync_vs_async(check):
+    def verify(result):
+        for row in result.tables[0].rows:
+            _, sync, raw, spdk = row
+            assert abs(sync - raw) / raw < 0.25
+
+    check("fig11", verify)

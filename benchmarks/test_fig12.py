@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 12 (one thread driving k SSDs)."""
+
+
+def test_fig12_threads_per_ssd(check):
+    def verify(result):
+        table = result.table("random read, 4 KiB (GB/s)")
+        frac = dict(zip(table.column("ssds_per_thread"),
+                        table.column("fraction_of_full")))
+        assert 0.6 < frac[4] < 0.85
+
+    check("fig12", verify)

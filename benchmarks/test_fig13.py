@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 13 (CPU cost per request)."""
+
+
+def test_fig13_cpu_cost(check):
+    def verify(result):
+        read = result.tables[0]
+        cycles = dict(zip(read.column("system"), read.column("cycles")))
+        assert cycles["cam"] < cycles["libaio"]
+
+    check("fig13", verify)

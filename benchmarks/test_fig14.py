@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 14 (CPU memory bandwidth usage)."""
+
+
+def test_fig14_membw_usage(check):
+    def verify(result):
+        check_table = result.tables[1]
+        ratios = dict(zip(check_table.column("system"),
+                          check_table.column("dram/ssd ratio")))
+        assert ratios["spdk (read)"] > 1.9 and ratios["cam (read)"] == 0
+
+    check("fig14", verify)

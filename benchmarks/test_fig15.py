@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 15 (memory-channel-limited throughput)."""
+
+
+def test_fig15_membw_limit(check):
+    def verify(result):
+        read = result.table("random read (GB/s)")
+        rows = {row[0]: row for row in read.rows}
+        assert rows["cam"][3] == rows["cam"][4]  # DES: 2c == 16c
+
+    check("fig15", verify)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 16 (discontiguous-destination collapse)."""
+
+
+def test_fig16_granularity(check):
+    def verify(result):
+        deficits = result.tables[0].column("spdk_deficit_%")
+        assert deficits[0] > 90
+
+    check("fig16", verify)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I (architectural comparison)."""
+
+
+def test_tab01_architecture(check):
+    def verify(result):
+        checks = result.tables[1]
+        assert checks.rows[0][3] == 0  # CAM: zero DRAM bytes on data path
+
+    check("tab01", verify)

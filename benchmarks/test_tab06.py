@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table VI (lines of code comparison)."""
+
+
+def test_tab06_loc(check):
+    def verify(result):
+        assert all(result.tables[1].column("holds"))
+
+    check("tab06", verify)

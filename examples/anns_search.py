@@ -1,0 +1,36 @@
+"""Approximate nearest-neighbour search over SSD-resident vectors.
+
+Reproduces the paper's Section II ANNS motivation: the workload gathers
+4 KiB vector pages at random, and on the bounce-buffered data path (SPDK/
+POSIX style) one cudaMemcpyAsync per page eats ~78 % of the time — while
+CAM's SSDs DMA straight into pinned GPU memory.
+
+Run:  python examples/anns_search.py
+"""
+
+from repro.workloads.anns import anns_with_backend
+
+
+def main() -> None:
+    print("IVF-flat ANNS: 4096 vectors x 128 dims on 12 simulated SSDs,"
+          "\n16 queries, nprobe=4 (results verified against brute force)\n")
+    print(f"{'system':<8}{'total (ms)':>12}{'I/O (ms)':>10}"
+          f"{'memcpy (ms)':>13}{'memcpy %':>10}{'recall@1':>10}")
+    for name in ("cam", "spdk"):
+        outcome = anns_with_backend(
+            name, num_vectors=4096, num_clusters=64, num_queries=16
+        )
+        print(
+            f"{name:<8}{outcome.total_time * 1e3:>12.2f}"
+            f"{outcome.io_time * 1e3:>10.2f}"
+            f"{outcome.memcpy_time * 1e3:>13.2f}"
+            f"{outcome.memcpy_fraction:>9.0%}"
+            f"{outcome.recall_at_1:>10.2f}"
+        )
+    print("\nThe paper's Section II observation: per-page cudaMemcpyAsync"
+          "\ncosts ~78% of ANNS time and cannot be hidden by computation;"
+          "\nCAM eliminates the copy entirely.")
+
+
+if __name__ == "__main__":
+    main()

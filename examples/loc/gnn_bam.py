@@ -1,0 +1,50 @@
+"""GNN one-step training loop, BaM edition (Table VI row: GNN / BaM).
+
+BaM's synchronous interface keeps the loop simple too (the paper counts
+65 vs CAM's 66 lines) — the cost is runtime, not code: every feature
+gather blocks, and the I/O engine's SMs starve the training kernel.
+"""
+
+import numpy as np
+
+from repro import Platform
+from repro.bam import BamSystem
+from repro.units import KiB
+from repro.workloads.gnn import NeighborSampler, paper100m
+
+
+def main() -> None:
+    platform = Platform(functional=False)
+    spec = paper100m().scale(0.002)
+    graph = spec.build_graph(seed=7)
+    sampler = NeighborSampler(graph, fanouts=(25, 10), seed=7)
+    system = BamSystem(platform)
+    env = platform.env
+    granularity = 4 * KiB
+    blocks = granularity // platform.config.ssd.block_size
+
+    def train_step(seeds):
+        stats = sampler.sample(seeds)
+        # synchronous gather: one blocking access per sampled node
+        gathers = [
+            env.process(system.io(int(node) * blocks, granularity))
+            for node in stats.unique_nodes
+        ]
+        yield env.all_of(gathers)                   # extract (blocks)
+        yield env.timeout(50e-6)                    # model fwd+bwd here
+
+    def epoch():
+        yield from system.start_io_engine()
+        rng = np.random.default_rng(7)
+        for _ in range(8):
+            seeds = rng.integers(0, graph.num_nodes, size=64)
+            yield from train_step(seeds)
+        system.stop_io_engine()
+
+    env.run(env.process(epoch()))
+    print(f"bam gnn steps: {env.now * 1e3:.2f} ms, "
+          f"{int(system.requests_done.total)} feature reads")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""GNN one-step training loop, CAM edition (Table VI row: GNN / CAM).
+
+The SSD-facing part of a training step: sample, prefetch the sampled
+nodes' features, synchronize, train — Fig. 7's kernel in miniature.
+"""
+
+import numpy as np
+
+from repro import Platform
+from repro.core import CamContext
+from repro.units import KiB
+from repro.workloads.gnn import NeighborSampler, paper100m
+
+
+def main() -> None:
+    platform = Platform(functional=False)
+    spec = paper100m().scale(0.002)
+    graph = spec.build_graph(seed=7)
+    sampler = NeighborSampler(graph, fanouts=(25, 10), seed=7)
+    context = CamContext(platform)
+    api = context.device_api()
+    env = platform.env
+    granularity = 4 * KiB
+    buffer = context.alloc(64 * 1024 * granularity)
+    blocks = granularity // platform.config.ssd.block_size
+
+    def train_step(seeds):
+        stats = sampler.sample(seeds)
+        lbas = stats.unique_nodes * blocks
+        yield from api.prefetch_synchronize()       # last batch landed
+        yield from api.prefetch(lbas, buffer, granularity)
+        yield env.timeout(50e-6)                    # model fwd+bwd here
+
+    def epoch():
+        rng = np.random.default_rng(7)
+        for _ in range(8):
+            seeds = rng.integers(0, graph.num_nodes, size=64)
+            yield from train_step(seeds)
+        yield from api.prefetch_synchronize()
+
+    env.run(env.process(epoch()))
+    print(f"cam gnn steps: {env.now * 1e3:.2f} ms, "
+          f"{int(context.manager.requests_done.total)} feature reads")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Out-of-core sort, traditional POSIX edition (Table VI row: Sort /
+POSIX I/O).
+
+Everything CAM's API hides must be spelled out here: per-request pread/
+pwrite submission loops, explicit staging-buffer management, manual
+offset/LBA arithmetic, and strictly serial I/O-then-compute structure —
+the paper's 644-line traditional version in miniature.
+"""
+
+import numpy as np
+
+from repro import Platform
+from repro.backends import make_backend
+from repro.units import KiB, MiB
+from repro.workloads.vdisk import VirtualDisk
+
+CHUNK = MiB
+GRAN = 512 * KiB
+ELEMENTS = 1 << 19
+
+
+def read_chunk(env, backend, base_offset, chunk_index):
+    """Issue the preads covering one chunk, one request at a time."""
+    block = backend.platform.config.ssd.block_size
+    requests = CHUNK // GRAN
+
+    def io():
+        for r in range(requests):
+            offset = base_offset + chunk_index * CHUNK + r * GRAN
+            lba = offset // block
+            yield from backend.io(lba, GRAN, is_write=False)
+
+    return env.process(io())
+
+
+def write_chunk(env, backend, base_offset, chunk_index):
+    """Issue the pwrites covering one chunk, one request at a time."""
+    block = backend.platform.config.ssd.block_size
+    requests = CHUNK // GRAN
+
+    def io():
+        for r in range(requests):
+            offset = base_offset + chunk_index * CHUNK + r * GRAN
+            lba = offset // block
+            yield from backend.io(lba, GRAN, is_write=True)
+
+    return env.process(io())
+
+
+def main() -> None:
+    platform = Platform()
+    backend = make_backend("posix", platform)
+    platform.stripe_blocks = GRAN // platform.config.ssd.block_size
+    vdisk = VirtualDisk(platform)
+    env = platform.env
+
+    rng = np.random.default_rng(1)
+    data = rng.integers(-(2**31), 2**31 - 1, size=ELEMENTS, dtype=np.int32)
+    vdisk.write_array(0, data)
+    total_bytes = data.nbytes
+    num_chunks = total_bytes // CHUNK
+    region_a, region_b = 0, total_bytes
+
+    def phase1():
+        # strictly serial: read chunk, sort, write sorted run
+        for index in range(num_chunks):
+            yield read_chunk(env, backend, region_a, index)
+            chunk = vdisk.read_array(index * CHUNK, CHUNK // 4, np.int32)
+            yield env.timeout(len(chunk) * 20e-12 * 20)  # sort kernel
+            vdisk.write_array(region_b + index * CHUNK, np.sort(chunk))
+            yield write_chunk(env, backend, region_b, index)
+
+    def phase2():
+        src, dst = region_b, region_a
+        run_bytes = CHUNK
+        while run_bytes < total_bytes:
+            pairs = total_bytes // (2 * run_bytes)
+            for pair in range(pairs):
+                # read both runs serially, merge, write serially
+                for half in range(2 * (run_bytes // CHUNK)):
+                    yield read_chunk(
+                        env, backend, src, pair * 2 * (run_bytes // CHUNK)
+                        + half,
+                    )
+                off = pair * 2 * run_bytes
+                left = vdisk.read_array(src + off, run_bytes // 4, np.int32)
+                right = vdisk.read_array(
+                    src + off + run_bytes, run_bytes // 4, np.int32
+                )
+                merged = np.concatenate([left, right])
+                merged.sort(kind="mergesort")
+                yield env.timeout(len(merged) * 4e-11)  # merge kernel
+                vdisk.write_array(dst + off, merged)
+                for half in range(2 * (run_bytes // CHUNK)):
+                    yield write_chunk(
+                        env, backend, dst, pair * 2 * (run_bytes // CHUNK)
+                        + half,
+                    )
+            src, dst = dst, src
+            run_bytes *= 2
+        return src
+
+    def driver():
+        yield env.process(phase1())
+        src = yield env.process(phase2())
+        return src
+
+    src = env.run(env.process(driver()))
+    result = vdisk.read_array(src, ELEMENTS, np.int32)
+    assert np.all(result[:-1] <= result[1:]), "not sorted!"
+    print(f"posix sort: {env.now * 1e3:.2f} ms, verified")
+
+
+if __name__ == "__main__":
+    main()

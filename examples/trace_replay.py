@@ -1,0 +1,52 @@
+"""Replay your own I/O pattern against any control plane.
+
+Demonstrates the trace API: generate a zipf-skewed 4 KiB trace (or build
+an ``IOTrace`` from your own arrays), replay it open-loop against CAM and
+POSIX, and read the latency percentiles — then show what a Ginex-style
+host cache does to the same traffic.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro import Platform
+from repro.backends import CachedBackend, make_backend
+from repro.config import PlatformConfig
+from repro.units import to_gb_per_s
+from repro.workloads.trace import TraceReplayer, make_zipfian_trace
+
+
+def replay(name, with_cache=False):
+    platform = Platform(PlatformConfig(num_ssds=12), functional=False)
+    kwargs = {"num_cores": 12} if name == "cam" else {}
+    backend = make_backend(name, platform, **kwargs)
+    if with_cache:
+        backend = CachedBackend(backend, 4 << 20, to_gpu=False)
+    trace = make_zipfian_trace(
+        2000, target_iops=1_000_000, skew=1.3, write_fraction=0.1, seed=9
+    )
+    report = TraceReplayer(backend).replay(trace, open_loop=True)
+    label = f"{name}+cache" if with_cache else name
+    hit = backend.hit_rate() if with_cache else 0.0
+    print(
+        f"{label:<12}{to_gb_per_s(report.achieved_bytes_per_s):>8.2f} GB/s"
+        f"{report.latency_percentile(50) * 1e6:>10.1f}"
+        f"{report.latency_percentile(99) * 1e6:>10.1f}"
+        f"{hit:>10.2f}"
+    )
+
+
+def main() -> None:
+    print("zipf(1.3) 4 KiB trace at 1M IOPS offered, 10% writes, "
+          "12 SSDs\n")
+    print(f"{'backend':<12}{'achieved':>13}{'p50 (us)':>10}"
+          f"{'p99 (us)':>10}{'hit rate':>10}")
+    for name in ("cam", "spdk", "posix"):
+        replay(name)
+    replay("cam", with_cache=True)
+    print("\nOpen-loop replay honours the trace's arrival times, so "
+          "latency reflects\nqueueing at the offered load; closed-loop "
+          "mode (open_loop=False) measures\npeak capacity instead.")
+
+
+if __name__ == "__main__":
+    main()

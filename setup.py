@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments whose setuptools lacks the PEP 660 editable-wheel path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""CAM reproduction: asynchronous GPU-initiated, CPU-managed SSD management.
+
+This package is a full-system, simulation-backed reproduction of
+
+    Song et al., "CAM: Asynchronous GPU-Initiated, CPU-Managed SSD
+    Management for Batching Storage Access", ICDE 2025.
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — discrete-event engine
+* :mod:`repro.hw` — GPU / CPU / DRAM / PCIe / NVMe SSD device models
+* :mod:`repro.oskernel`, :mod:`repro.spdk`, :mod:`repro.gds`,
+  :mod:`repro.bam` — baseline control planes
+* :mod:`repro.core` — CAM itself (the paper's contribution)
+* :mod:`repro.backends` — a uniform storage-backend facade over all of the
+  above
+* :mod:`repro.workloads` — GNN training, out-of-core mergesort, tiled GEMM
+* :mod:`repro.experiments` — one runner per paper figure/table
+"""
+
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.hw.platform import Platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PLATFORM",
+    "Platform",
+    "PlatformConfig",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Uniform storage-backend facade.
+
+Workloads and experiments talk to one interface —
+:class:`~repro.backends.base.StorageBackend` — and pick a control plane by
+name.  Construction is centralized in :func:`make_backend` so an
+experiment that compares CAM against four baselines is a loop over names.
+"""
+
+from repro.backends.base import (
+    StorageBackend,
+    make_backend,
+    measure_throughput,
+)
+from repro.backends.cache import CachedBackend
+from repro.backends.planes import (
+    BamBackend,
+    CamBackend,
+    GdsBackend,
+    KernelBackend,
+    SpdkBackend,
+)
+
+__all__ = [
+    "BamBackend",
+    "CachedBackend",
+    "CamBackend",
+    "GdsBackend",
+    "KernelBackend",
+    "SpdkBackend",
+    "StorageBackend",
+    "make_backend",
+    "measure_throughput",
+]

@@ -1,0 +1,161 @@
+"""Backend ABC + the closed-loop load generator.
+
+A backend couples a control plane (who builds and polls NVMe commands) to
+a data path (where the bytes land).  Two speeds of use:
+
+* :meth:`StorageBackend.io` — one simulated request through the full
+  discrete-event path;
+* :meth:`StorageBackend.bulk_io` — a batch accounted with the analytic
+  steady-state model (same constants), for paper-scale workloads where
+  per-request simulation would take millions of events.
+
+:func:`measure_throughput` drives a backend with a fixed-concurrency
+closed loop (fio semantics: ``numjobs``/``iodepth``) and reports achieved
+bytes/second — the primitive behind Figs. 2, 8, 11 and 12.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.model.throughput import ThroughputModel
+
+
+class StorageBackend:
+    """Base class; concrete planes live in :mod:`repro.backends.planes`."""
+
+    #: name understood by :class:`~repro.model.throughput.ThroughputModel`
+    model_name = ""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.env = platform.env
+        self.model = ThroughputModel(platform.config)
+
+    @property
+    def name(self) -> str:
+        return self.model_name
+
+    # -- per-request DES path ------------------------------------------------
+    def io(
+        self,
+        lba: int,
+        nbytes: int,
+        is_write: bool = False,
+        payload=None,
+        target=None,
+        target_offset: int = 0,
+        ssd_index: Optional[int] = None,
+    ) -> Generator:
+        """Process: one request through the control + data planes."""
+        raise NotImplementedError
+
+    # -- analytic bulk path -----------------------------------------------
+    def bulk_time(
+        self,
+        total_bytes: float,
+        granularity: int = 4096,
+        is_write: bool = False,
+        **kwargs,
+    ) -> float:
+        """Steady-state seconds to move ``total_bytes``."""
+        return self.model.io_time(
+            self.model_name, total_bytes, granularity, is_write, **kwargs
+        )
+
+    def bulk_io(
+        self,
+        total_bytes: float,
+        granularity: int = 4096,
+        is_write: bool = False,
+        **kwargs,
+    ) -> Generator:
+        """Process: advance simulated time by the analytic batch duration."""
+        duration = self.bulk_time(total_bytes, granularity, is_write, **kwargs)
+        yield self.env.timeout(duration)
+        return duration
+
+
+def make_backend(name: str, platform: Platform, **kwargs) -> StorageBackend:
+    """Construct a backend by model name (see
+    :data:`repro.model.throughput.BACKENDS`)."""
+    from repro.backends.planes import (
+        BamBackend,
+        CamBackend,
+        GdsBackend,
+        KernelBackend,
+        SpdkBackend,
+    )
+
+    factories = {
+        "posix": lambda: KernelBackend(platform, "posix", **kwargs),
+        "libaio": lambda: KernelBackend(platform, "libaio", **kwargs),
+        "io_uring int": lambda: KernelBackend(
+            platform, "io_uring int", **kwargs
+        ),
+        "io_uring poll": lambda: KernelBackend(
+            platform, "io_uring poll", **kwargs
+        ),
+        "spdk": lambda: SpdkBackend(platform, **kwargs),
+        "bam": lambda: BamBackend(platform, **kwargs),
+        "gds": lambda: GdsBackend(platform, **kwargs),
+        "cam": lambda: CamBackend(platform, **kwargs),
+    }
+    if name not in factories:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; choose from {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+def measure_throughput(
+    backend: StorageBackend,
+    granularity: int = 4096,
+    is_write: bool = False,
+    total_requests: int = 2000,
+    concurrency: int = 64,
+    seed: int = 7,
+    spread_blocks: int = 1 << 20,
+) -> float:
+    """Closed-loop load test; returns achieved payload bytes/second.
+
+    ``concurrency`` logical workers each keep one request outstanding
+    (fio ``iodepth``); requests target uniformly random, granularity-
+    aligned LBAs within ``spread_blocks`` so every SSD of the platform
+    sees traffic.
+    """
+    if total_requests < 1 or concurrency < 1:
+        raise ConfigurationError("requests and concurrency must be >= 1")
+    env = backend.env
+    rng = np.random.default_rng(seed)
+    block_size = backend.platform.config.ssd.block_size
+    blocks_per_request = max(1, granularity // block_size)
+    # align the RAID0 stripe to the request size so every request maps to
+    # exactly one SSD and traffic spreads over the whole array
+    backend.platform.stripe_blocks = blocks_per_request
+    slots = max(1, spread_blocks // blocks_per_request)
+    lbas = rng.integers(0, slots, size=total_requests) * blocks_per_request
+
+    shared = {"next": 0}
+    start = env.now
+
+    def worker() -> Generator:
+        while shared["next"] < total_requests:
+            index = shared["next"]
+            shared["next"] += 1
+            yield from backend.io(
+                int(lbas[index]), granularity, is_write=is_write
+            )
+
+    workers = [
+        env.process(worker()) for _ in range(min(concurrency, total_requests))
+    ]
+    env.run(env.all_of(workers))
+    elapsed = env.now - start
+    if elapsed <= 0:
+        raise ConfigurationError("measurement window collapsed to zero")
+    return total_requests * granularity / elapsed

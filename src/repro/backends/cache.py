@@ -1,0 +1,123 @@
+"""Host-memory page cache wrapper (the Ginex / MariusGNN ingredient).
+
+The paper's related work notes that the CPU-managed GNN systems "focus on
+utilizing CPU memory to cache data to reduce the data amount to be
+accessed in the SSD without considering the SSD access process".
+:class:`CachedBackend` composes that idea with any control plane: an LRU
+page cache in CPU DRAM sits in front of the SSDs.
+
+* **hit** — the page is served from DRAM (one bus crossing, plus the
+  host->GPU copy when the consumer is the GPU);
+* **miss** — the underlying backend fetches the page and the cache
+  admits it, evicting LRU pages when over capacity.
+
+Writes go through (write-through) and update cached copies so reads
+never observe stale data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generator, Optional
+
+from repro.backends.base import StorageBackend
+from repro.errors import ConfigurationError
+from repro.hw.nvme import CQE
+from repro.sim.stats import Counter
+
+
+class CachedBackend(StorageBackend):
+    """LRU host cache in front of another backend."""
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        capacity_bytes: int,
+        page_bytes: int = 4096,
+        to_gpu: bool = True,
+    ):
+        if capacity_bytes < page_bytes:
+            raise ConfigurationError(
+                "cache must hold at least one page"
+            )
+        super().__init__(inner.platform)
+        self.inner = inner
+        self.model_name = inner.model_name
+        self.capacity_pages = capacity_bytes // page_bytes
+        self.page_bytes = page_bytes
+        self.to_gpu = to_gpu
+        #: page id -> None (OrderedDict as LRU: end = most recent)
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = Counter(self.env)
+        self.misses = Counter(self.env)
+        self.evictions = Counter(self.env)
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+cache"
+
+    def _pages_of(self, lba: int, nbytes: int):
+        block = self.platform.config.ssd.block_size
+        start = lba * block
+        first = start // self.page_bytes
+        last = (start + max(1, nbytes) - 1) // self.page_bytes
+        return range(first, last + 1)
+
+    def _touch(self, page: int) -> None:
+        self._lru[page] = None
+        self._lru.move_to_end(page)
+        while len(self._lru) > self.capacity_pages:
+            self._lru.popitem(last=False)
+            self.evictions.add()
+
+    def _cached(self, page: int) -> bool:
+        return page in self._lru
+
+    def io(
+        self,
+        lba: int,
+        nbytes: int,
+        is_write: bool = False,
+        payload=None,
+        target=None,
+        target_offset: int = 0,
+        ssd_index: Optional[int] = None,
+    ) -> Generator:
+        pages = list(self._pages_of(lba, nbytes))
+        if is_write:
+            # write-through: device write, cached copies refreshed
+            cqe = yield from self.inner.io(
+                lba, nbytes, is_write=True, payload=payload,
+                target=target, target_offset=target_offset,
+                ssd_index=ssd_index,
+            )
+            for page in pages:
+                if self._cached(page):
+                    self._touch(page)
+            return cqe
+
+        if all(self._cached(page) for page in pages):
+            self.hits.add(len(pages))
+            for page in pages:
+                self._touch(page)
+            # served from DRAM: one bus crossing (+ copy to GPU)
+            yield from self.platform.dram.access(nbytes)
+            if self.to_gpu:
+                yield from self.platform.gpu.memcpy(nbytes)
+            return CQE(command_id=-1)
+
+        self.misses.add(len(pages))
+        cqe = yield from self.inner.io(
+            lba, nbytes, is_write=False, payload=payload,
+            target=target, target_offset=target_offset,
+            ssd_index=ssd_index,
+        )
+        # admission costs one DRAM crossing for the staged copy
+        yield from self.platform.dram.access(nbytes)
+        for page in pages:
+            self._touch(page)
+        return cqe
+
+    def hit_rate(self) -> float:
+        total = self.hits.total + self.misses.total
+        return self.hits.total / total if total else 0.0

@@ -1,0 +1,20 @@
+"""BaM: GPU-initiated, GPU-managed SSD access (the Qureshi et al. ASPLOS'23
+system the paper compares against, and the substrate of the GIDS GNN
+baseline).
+
+BaM puts the NVMe submission/completion queues in GPU memory and has GPU
+thread blocks build SQEs and poll CQEs through a synchronous array API.
+The reproduction captures its two defining costs:
+
+* **SM occupancy** — saturating N SSDs requires ``N x ssd_iops /
+  iops_per_sm`` streaming multiprocessors busy with I/O (Fig. 4), which
+  starves concurrent compute kernels and serializes I/O with computation
+  (Issue 3);
+* **synchronous interface** — a warp blocks from submission to
+  completion, so I/O time cannot overlap with that warp's compute.
+"""
+
+from repro.bam.system import BamSystem
+from repro.bam.array import BamArray
+
+__all__ = ["BamArray", "BamSystem"]

@@ -1,0 +1,89 @@
+"""``bam::array``: BaM's synchronous, array-shaped view over SSD storage.
+
+The application sees a big typed array; element ranges map to LBAs via a
+direct (fixed-stride) mapping, and every access is a blocking read or
+write through the BaM control plane — the paper's Issue 3 interface.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.bam.system import BamSystem
+from repro.errors import APIUsageError
+from repro.hw.gpu import GPUBuffer
+
+
+class BamArray:
+    """A typed out-of-core array backed by SSD blocks."""
+
+    def __init__(
+        self,
+        system: BamSystem,
+        dtype,
+        length: int,
+        base_lba: int = 0,
+    ):
+        if length <= 0:
+            raise APIUsageError("array length must be positive")
+        self.system = system
+        self.dtype = np.dtype(dtype)
+        self.length = length
+        self.base_lba = base_lba
+        self.block_size = system.platform.config.ssd.block_size
+        self.nbytes = self.dtype.itemsize * length
+
+    def _range_to_lba(self, start: int, count: int):
+        """Map an element range to (lba, nbytes, byte offset in block)."""
+        if start < 0 or count <= 0 or start + count > self.length:
+            raise APIUsageError(
+                f"range [{start}, {start + count}) outside array "
+                f"of {self.length}"
+            )
+        byte_start = start * self.dtype.itemsize
+        byte_end = (start + count) * self.dtype.itemsize
+        first_block = byte_start // self.block_size
+        last_block = (byte_end - 1) // self.block_size
+        lba = self.base_lba + first_block
+        nbytes = (last_block - first_block + 1) * self.block_size
+        return lba, nbytes, byte_start - first_block * self.block_size
+
+    def read(
+        self,
+        start: int,
+        count: int,
+        dest: Optional[GPUBuffer] = None,
+        dest_offset: int = 0,
+    ) -> Generator:
+        """Process: blocking read of ``count`` elements from ``start``.
+
+        Returns the element values when the platform is functional and no
+        destination buffer was given.
+        """
+        lba, nbytes, skew = self._range_to_lba(start, count)
+        cqe = yield from self.system.io(
+            lba, nbytes, is_write=False, target=dest, target_offset=dest_offset
+        )
+        if dest is None and cqe.value is not None:
+            raw = cqe.value[skew : skew + count * self.dtype.itemsize]
+            return np.frombuffer(raw.tobytes(), dtype=self.dtype)
+        return None
+
+    def write(self, start: int, values: np.ndarray) -> Generator:
+        """Process: blocking write of ``values`` at element ``start``.
+
+        Writes must be block-aligned (the paper's CAM/BaM setups operate
+        on raw block devices without read-modify-write support).
+        """
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        lba, nbytes, skew = self._range_to_lba(start, len(values))
+        if skew != 0 or values.nbytes != nbytes:
+            raise APIUsageError(
+                "unaligned write: start and size must fall on "
+                f"{self.block_size}-byte block boundaries"
+            )
+        yield from self.system.io(
+            lba, nbytes, is_write=True, payload=values
+        )

@@ -1,0 +1,41 @@
+"""CAM: the paper's contribution.
+
+Asynchronous GPU-initiated, CPU-managed SSD management for batching
+storage access:
+
+* :mod:`repro.core.regions` — the four GPU<->CPU synchronization memory
+  regions (Section III-B);
+* :mod:`repro.core.control` — the CPU-side management threads built on
+  SPDK-style user-space queue pairs (Section III-A);
+* :mod:`repro.core.autotune` — dynamic adjustment of manager cores between
+  N/4 and N/2 per N SSDs (Challenge 1);
+* :mod:`repro.core.api` — the user-facing API of Table II: ``CAM_init``,
+  ``CAM_alloc``, ``CAM_free``, ``prefetch``, ``prefetch_synchronize``,
+  ``write_back``, ``write_back_synchronize``;
+* :mod:`repro.core.async_api` — the raw asynchronous flavour (CAM-Async
+  in Fig. 11);
+* :mod:`repro.core.pipeline` — the double-buffer prefetch/compute pipeline
+  idiom of Figs. 6/7.
+"""
+
+from repro.core.api import CamContext, CamDeviceAPI
+from repro.core.async_api import CamAsyncAPI, CamTicket
+from repro.core.autotune import CoreAutotuner
+from repro.core.control import BatchRequest, CamManager
+from repro.core.datapath import DirectDataPath
+from repro.core.pipeline import DoubleBuffer, run_prefetch_pipeline
+from repro.core.regions import SyncRegions
+
+__all__ = [
+    "BatchRequest",
+    "CamAsyncAPI",
+    "CamContext",
+    "CamDeviceAPI",
+    "CamManager",
+    "CamTicket",
+    "CoreAutotuner",
+    "DirectDataPath",
+    "DoubleBuffer",
+    "SyncRegions",
+    "run_prefetch_pipeline",
+]

@@ -1,0 +1,64 @@
+"""Dynamic adjustment of CAM's manager-core count (Challenge 1).
+
+Paper Section III-A: "CAM records both computation and I/O times.  CAM
+adjusts the number of cores for CPU-based SSD control according to the
+relative time of computation and I/O in the last batch" — using between
+N/4 and N/2 cores for N SSDs.
+
+The policy here is deliberately simple and hysteretic: when computation
+dominated the last batch (I/O has slack), drop a core; when I/O was the
+critical path, add one back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.config import CAMConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CoreAutotuner:
+    """Chooses how many manager cores CAM should run."""
+
+    num_ssds: int
+    config: Optional[CAMConfig] = None
+    #: don't shrink unless I/O finishes in this fraction of compute time
+    shrink_threshold: float = 0.85
+    #: grow as soon as I/O exceeds compute by this factor
+    grow_threshold: float = 1.0
+    history: List[Tuple[float, float, int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.num_ssds < 1:
+            raise ConfigurationError("need at least one SSD")
+        config = self.config or CAMConfig()
+        self.min_cores = max(
+            1, math.ceil(self.num_ssds * config.min_cores_per_ssd)
+        )
+        self.max_cores = max(
+            self.min_cores,
+            math.ceil(self.num_ssds * config.max_cores_per_ssd),
+        )
+        #: start at the maximum (safe) allocation, shrink when possible
+        self.cores = self.max_cores
+
+    def observe(self, compute_time: float, io_time: float) -> int:
+        """Feed the last batch's times; returns the new core count."""
+        if compute_time < 0 or io_time < 0:
+            raise ConfigurationError("times must be non-negative")
+        self.history.append((compute_time, io_time, self.cores))
+        if compute_time > 0 and io_time < compute_time * self.shrink_threshold:
+            # I/O fully hidden with slack: one fewer core still overlaps
+            self.cores = max(self.min_cores, self.cores - 1)
+        elif io_time > compute_time * self.grow_threshold:
+            # I/O on the critical path: give it more cores
+            self.cores = min(self.max_cores, self.cores + 1)
+        return self.cores
+
+    @property
+    def bounds(self) -> Tuple[int, int]:
+        return (self.min_cores, self.max_cores)

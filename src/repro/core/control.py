@@ -1,0 +1,188 @@
+"""CAM's CPU-side management threads.
+
+A persistent CPU poller watches the doorbell region; when the GPU rings,
+the manager reads the LBA batch, fans the requests out across the
+per-SSD SPDK queue pairs (charging each owning reactor's per-request CPU
+cost), waits for every completion, and flags the completion region.
+
+The number of *active* reactors is controlled by the
+:class:`~repro.core.autotune.CoreAutotuner`; inactive reactors' SSDs are
+re-assigned to active ones, which is how "one thread controls multiple
+NVMes" (Fig. 12) happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.config import CAMConfig
+from repro.errors import APIUsageError, ConfigurationError
+from repro.hw.platform import Platform
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Store
+from repro.sim.stats import Counter, LatencyStat
+from repro.spdk.driver import SpdkDriver
+
+
+@dataclass
+class BatchRequest:
+    """One rung batch travelling from the doorbell to the manager."""
+
+    lbas: np.ndarray
+    granularity: int
+    is_write: bool
+    dest: object = None  # pinned GPU buffer (or None for timing runs)
+    payloads: Optional[list] = None  # write data per request
+    done: Event = None  # signalled when the whole batch completed
+    regions: object = None  # SyncRegions to flag on completion
+    submit_time: float = 0.0
+
+    @property
+    def request_count(self) -> int:
+        return len(self.lbas)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.request_count * self.granularity
+
+
+class CamManager:
+    """The persistent CPU thread(s) managing the SSDs for one GPU."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        config: Optional[CAMConfig] = None,
+        num_cores: Optional[int] = None,
+        occupy_cores: bool = False,
+    ):
+        self.platform = platform
+        self.env = platform.env
+        self.config = config or platform.config.cam
+        max_cores = max(1, -(-platform.num_ssds // 2))  # ceil(N/2)
+        self.driver = SpdkDriver(
+            platform,
+            num_reactors=num_cores or max_cores,
+            occupy_cores=occupy_cores,
+        )
+        self._active_reactors = self.driver.num_reactors
+        self._inbox: Store = Store(self.env)
+        self._poller = self.env.process(self._poll_loop())
+        self.batches_done = Counter(self.env)
+        self.requests_done = Counter(self.env)
+        self.bytes_done = Counter(self.env)
+        self.batch_io_time = LatencyStat()
+        #: io time of the most recent batch (fed to the autotuner)
+        self.last_io_time = 0.0
+
+    # -- core adjustment ----------------------------------------------------
+    @property
+    def active_reactors(self) -> int:
+        return self._active_reactors
+
+    def set_active_reactors(self, count: int) -> None:
+        """Apply the autotuner's decision: remap SSDs over ``count`` cores."""
+        if not 1 <= count <= self.driver.num_reactors:
+            raise ConfigurationError(
+                f"active reactor count {count} outside "
+                f"[1, {self.driver.num_reactors}]"
+            )
+        self._active_reactors = count
+        pool = self.driver.pool
+        pool._assignment = [
+            index % count for index in range(self.platform.num_ssds)
+        ]
+        for handle in self.driver._handles:
+            handle.reactor = pool.reactor_for(handle.ssd_index)
+
+    # -- the doorbell -> completion path ----------------------------------
+    def ring(self, batch: BatchRequest) -> Event:
+        """GPU side: hand a batch to the manager (region 3 doorbell).
+
+        Returns the batch's completion event (region 4).
+        """
+        if batch.request_count == 0:
+            raise APIUsageError("empty batch")
+        if batch.done is None:
+            batch.done = self.env.event()
+        batch.submit_time = self.env.now
+        self._inbox.put(batch)
+        return batch.done
+
+    def _poll_loop(self) -> Generator:
+        while True:
+            batch = yield self._inbox.get()
+            # the poller notices the doorbell after (on average) half a
+            # poll interval, then marshals the batch arguments
+            yield self.env.timeout(
+                self.config.poll_interval / 2 + self.config.batch_setup_time
+            )
+            # batches proceed concurrently (e.g. a read batch overlapping
+            # a write-back batch); per-reactor CPU contention still
+            # serializes the actual submission work
+            self.env.process(self._handle_batch(batch))
+
+    def _handle_batch(self, batch: BatchRequest) -> Generator:
+        start = self.env.now
+        failures = yield from self._process_batch(batch)
+        self.last_io_time = self.env.now - batch.submit_time
+        self.batch_io_time.record(self.last_io_time)
+        self.batches_done.add()
+        self.requests_done.add(batch.request_count)
+        self.bytes_done.add(batch.total_bytes)
+        if batch.regions is not None:
+            batch.regions.signal_completion()
+        if failures:
+            from repro.errors import DeviceError
+
+            batch.done.fail(
+                DeviceError(
+                    f"{len(failures)} of {batch.request_count} requests "
+                    f"failed; first: lba {failures[0][0]} "
+                    f"status {failures[0][1]:#x}"
+                )
+            )
+        else:
+            batch.done.succeed(self.env.now - start)
+
+    def _process_batch(self, batch: BatchRequest) -> Generator:
+        """Fan the batch out over the SSDs and wait for every CQE."""
+        granularity = batch.granularity
+        children = []
+        for index, lba in enumerate(batch.lbas):
+            if batch.payloads is not None:
+                payload = batch.payloads[index]
+            elif batch.is_write and batch.dest is not None:
+                # write-back: the data comes from the pinned GPU buffer
+                payload = batch.dest.read_bytes(
+                    index * granularity, granularity
+                )
+            else:
+                payload = None
+            children.append(
+                self.env.process(
+                    self.driver.io(
+                        int(lba),
+                        granularity,
+                        is_write=batch.is_write,
+                        payload=payload,
+                        target=batch.dest,
+                        target_offset=index * granularity,
+                    )
+                )
+            )
+        results = yield self.env.all_of(children)
+        failures = [
+            (int(batch.lbas[index]), cqe.status)
+            for index, child in enumerate(children)
+            for cqe in [results[child]]
+            if cqe is not None and not cqe.ok
+        ]
+        return failures
+
+    def achieved_throughput(self) -> float:
+        """Bytes/second over the observation window."""
+        return self.bytes_done.rate()

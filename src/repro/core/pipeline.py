@@ -1,0 +1,91 @@
+"""The CAM double-buffer pipeline idiom (paper Figs. 6 and 7).
+
+The canonical CAM loop is::
+
+    for i in iterations:
+        prefetch_synchronize()          # batch i-1 has landed
+        compute_buffer, read_buffer = read_buffer, compute_buffer
+        prefetch(next_lbas, read_buffer)   # batch i starts loading
+        ...compute on compute_buffer...    # overlaps with the I/O
+
+:func:`run_prefetch_pipeline` packages that loop so workloads and
+examples stay as small as the paper's Table VI promises; the
+:class:`DoubleBuffer` helper owns the buffer swap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional
+
+import numpy as np
+
+from repro.core.api import CamContext, CamDeviceAPI
+from repro.errors import APIUsageError
+from repro.hw.gpu import GPUBuffer
+
+
+class DoubleBuffer:
+    """Two CAM_alloc buffers with the read/compute swap of Fig. 7."""
+
+    def __init__(self, context: CamContext, size: int):
+        self.context = context
+        self.read_buffer = context.alloc(size)
+        self.compute_buffer = context.alloc(size)
+
+    def swap(self) -> None:
+        """After a synchronize: freshly-read data becomes compute input."""
+        self.read_buffer, self.compute_buffer = (
+            self.compute_buffer,
+            self.read_buffer,
+        )
+
+    def release(self) -> None:
+        self.context.free(self.read_buffer)
+        self.context.free(self.compute_buffer)
+
+
+def run_prefetch_pipeline(
+    context: CamContext,
+    batches: Iterable[np.ndarray],
+    compute: Callable[[int, GPUBuffer], Generator],
+    buffer_size: int,
+    granularity: int = 4096,
+) -> Generator:
+    """Process: run the full prefetch/compute pipeline.
+
+    Parameters
+    ----------
+    batches:
+        Iterable of LBA arrays, one per iteration.
+    compute:
+        ``compute(iteration, buffer)`` — a GPU-side coroutine consuming
+        the data of iteration ``iteration`` (already in ``buffer``).
+    buffer_size:
+        Bytes per pipeline buffer; must hold the largest batch.
+
+    Returns the total pipeline time (seconds of simulated time).
+    """
+    env = context.env
+    api = context.device_api()
+    buffers = DoubleBuffer(context, buffer_size)
+    start = env.now
+    batch_list = [np.asarray(b, dtype=np.int64) for b in batches]
+    if not batch_list:
+        raise APIUsageError("pipeline needs at least one batch")
+    try:
+        for index, lbas in enumerate(batch_list):
+            # 1) make sure the previous prefetch landed, swap buffers
+            yield from api.prefetch_synchronize()
+            buffers.swap()
+            # 2) start loading this iteration's batch into the read buffer
+            yield from api.prefetch(lbas, buffers.read_buffer, granularity)
+            # 3) compute on the previous iteration's data, overlapping I/O
+            if index > 0:
+                yield from compute(index - 1, buffers.compute_buffer)
+        # drain: last batch's I/O, then its compute
+        yield from api.prefetch_synchronize()
+        buffers.swap()
+        yield from compute(len(batch_list) - 1, buffers.compute_buffer)
+    finally:
+        buffers.release()
+    return env.now - start

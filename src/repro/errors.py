@@ -1,0 +1,56 @@
+"""Exception hierarchy for the CAM reproduction.
+
+All library errors derive from :class:`ReproError` so that applications can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Generic failure inside the discrete-event engine."""
+
+
+class ProcessInterrupt(ReproError):
+    """Raised inside a simulated process when another process interrupts it.
+
+    The interrupting party may attach a ``cause`` describing why.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class DeviceError(ReproError):
+    """A simulated hardware device rejected an operation."""
+
+
+class InvalidLBAError(DeviceError):
+    """An I/O request targeted a logical block address outside the device."""
+
+
+class QueueFullError(DeviceError):
+    """An NVMe submission queue had no free slot for a new command."""
+
+
+class AllocationError(ReproError):
+    """GPU/host memory allocation failed (out of simulated memory)."""
+
+
+class APIUsageError(ReproError):
+    """A public API was called in an invalid order or with invalid state,
+    e.g. ``prefetch_synchronize`` without a preceding ``prefetch``.
+    """
+
+
+class FileSystemError(ReproError):
+    """Simulated file-system failure (bad handle, out-of-range offset...)."""

@@ -1,0 +1,24 @@
+"""Experiment runners: one module per paper figure/table.
+
+Every module exposes ``run(quick=True) -> ExperimentResult``; the registry
+maps experiment ids (``fig02``, ``tab06``...) to those runners.  ``quick``
+shrinks problem sizes for test/bench use; ``quick=False`` regenerates the
+numbers recorded in EXPERIMENTS.md.
+
+Run everything from the command line::
+
+    python -m repro.experiments.run_all            # quick pass
+    python -m repro.experiments.run_all --full     # EXPERIMENTS.md scale
+    python -m repro.experiments.run_all fig08      # one experiment
+"""
+
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Table",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,60 @@
+"""Fig. 2: 4 KiB random read/write throughput of the kernel I/O stacks.
+
+Paper: on a single Intel P5510, POSIX < libaio < io_uring(int) <
+io_uring(poll), and *all* sit far below the device's native 4 KiB
+throughput (the dashed line) because of OS-kernel per-request overhead.
+"""
+
+from __future__ import annotations
+
+from repro.backends import make_backend, measure_throughput
+from repro.config import PlatformConfig
+from repro.experiments.report import ExperimentResult, Table
+from repro.hw.platform import Platform
+from repro.model.throughput import ThroughputModel, device_iops
+from repro.units import to_gb_per_s
+
+_STACKS = ("posix", "libaio", "io_uring int", "io_uring poll")
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig02",
+        title="4 KiB random I/O throughput of software I/O stacks, 1 SSD",
+        paper_expectation=(
+            "POSIX < libaio < io_uring int < io_uring poll << SSD max, "
+            "for both reads and writes"
+        ),
+    )
+    config = PlatformConfig(num_ssds=1)
+    model = ThroughputModel(config)
+    requests = 400 if quick else 3000
+
+    for is_write, label in ((False, "read"), (True, "write")):
+        table = result.add_table(
+            Table(
+                f"4 KiB random {label} (GB/s)",
+                ["stack", "model", "measured (DES)"],
+            )
+        )
+        for stack in _STACKS:
+            platform = Platform(config, functional=False)
+            backend = make_backend(stack, platform)
+            measured = measure_throughput(
+                backend,
+                granularity=4096,
+                is_write=is_write,
+                total_requests=requests,
+                concurrency=backend.concurrency,
+            )
+            table.add_row(
+                stack,
+                to_gb_per_s(
+                    model.throughput(stack, 4096, is_write, to_gpu=False)
+                ),
+                to_gb_per_s(measured),
+            )
+        ssd_max = device_iops(config.ssd, 4096, is_write) * 4096
+        table.add_row("SSD max (dashed)", to_gb_per_s(ssd_max),
+                      to_gb_per_s(ssd_max))
+    return result

@@ -1,0 +1,46 @@
+"""Fig. 4: A100 SM utilization BaM needs to saturate N SSDs.
+
+Paper: the GPU-managed control plane burns streaming multiprocessors on
+submission/polling; past ~5 SSDs most of the GPU is doing I/O instead of
+computation, which is why I/O and compute serialize in GIDS.
+"""
+
+from __future__ import annotations
+
+from repro.bam.system import BamSystem
+from repro.config import PlatformConfig
+from repro.experiments.report import ExperimentResult, Table
+from repro.hw.platform import Platform
+
+_SSD_COUNTS = (1, 2, 3, 4, 5, 6, 8, 10, 12)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig04",
+        title="A100 SM utilization for BaM to saturate N SSDs (4 KiB reads)",
+        paper_expectation=(
+            "utilization climbs with SSD count; beyond ~5 SSDs nearly all "
+            "SMs are occupied by I/O submission/polling"
+        ),
+    )
+    table = result.add_table(
+        Table(
+            "SMs needed for saturation",
+            ["ssds", "io_sms", "sm_utilization_%"],
+        )
+    )
+    platform = Platform(PlatformConfig(num_ssds=12), functional=False)
+    system = BamSystem(platform)
+    for num_ssds in _SSD_COUNTS:
+        sms = system.sms_to_saturate(num_ssds)
+        table.add_row(
+            num_ssds,
+            sms,
+            100.0 * system.sm_utilization_to_saturate(num_ssds),
+        )
+    result.note(
+        "CAM's CPU-managed control plane needs 0 SMs at every point of "
+        "this sweep (Table I / Goal 1)"
+    )
+    return result

@@ -1,0 +1,114 @@
+"""Fig. 8: I/O throughput of CAM vs BaM, SPDK and POSIX I/O.
+
+Four panels: random read / write x (SSD-count sweep at 4 KiB,
+granularity sweep at 12 SSDs).  Paper: CAM ~= SPDK ~= BaM >> POSIX;
+12 SSDs at 4 KiB reach ~20 GB/s (the measured 21 GB/s PCIe peak);
+throughput grows with access size; writes sit below reads.
+"""
+
+from __future__ import annotations
+
+from repro.backends import make_backend, measure_throughput
+from repro.config import GRANULARITIES, PlatformConfig
+from repro.experiments.report import ExperimentResult, Table
+from repro.hw.platform import Platform
+from repro.model.throughput import ThroughputModel
+from repro.units import KiB, pretty_bytes, to_gb_per_s
+
+_SYSTEMS = ("cam", "spdk", "bam", "posix")
+_SSD_SWEEP = (1, 2, 4, 6, 8, 10, 12)
+
+
+def _measured_point(name: str, num_ssds: int, granularity: int,
+                    is_write: bool, requests: int) -> float:
+    platform = Platform(PlatformConfig(num_ssds=num_ssds), functional=False)
+    # Section IV-B: "CAM manages each SSD using one CPU thread" in the
+    # microbenchmarks
+    kwargs = {"num_cores": num_ssds} if name == "cam" else {}
+    backend = make_backend(name, platform, **kwargs)
+    concurrency = 512 if name in ("cam", "spdk", "bam") else 16
+    return measure_throughput(
+        backend,
+        granularity=granularity,
+        is_write=is_write,
+        total_requests=requests,
+        concurrency=concurrency,
+    )
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig08",
+        title="I/O throughput: CAM vs BaM vs SPDK vs POSIX",
+        paper_expectation=(
+            "CAM/SPDK/BaM bypass the kernel and tie near the PCIe-limited "
+            "~20 GB/s with 12 SSDs at 4 KiB; POSIX stays far below; "
+            "throughput rises with access granularity; write < read"
+        ),
+    )
+    model = ThroughputModel(PlatformConfig())
+
+    for is_write, rw in ((False, "read"), (True, "write")):
+        sweep = result.add_table(
+            Table(
+                f"random {rw}, 4 KiB, vs SSD count (GB/s, model)",
+                ["ssds"] + list(_SYSTEMS),
+            )
+        )
+        for num_ssds in _SSD_SWEEP:
+            sweep.add_row(
+                num_ssds,
+                *[
+                    to_gb_per_s(
+                        model.throughput(
+                            name, 4 * KiB, is_write, num_ssds=num_ssds,
+                            cores=num_ssds if name == "cam" else None,
+                        )
+                    )
+                    for name in _SYSTEMS
+                ],
+            )
+        gran = result.add_table(
+            Table(
+                f"random {rw}, 12 SSDs, vs granularity (GB/s, model)",
+                ["granularity"] + list(_SYSTEMS),
+            )
+        )
+        for granularity in GRANULARITIES:
+            gran.add_row(
+                pretty_bytes(granularity),
+                *[
+                    to_gb_per_s(
+                        model.throughput(
+                            name, granularity, is_write,
+                            cores=12 if name == "cam" else None,
+                        )
+                    )
+                    for name in _SYSTEMS
+                ],
+            )
+
+    # cross-validate headline points against the discrete-event path
+    requests = 600 if quick else 4000
+    check = result.add_table(
+        Table(
+            "DES cross-check, 4 KiB random read (GB/s)",
+            ["system", "ssds", "model", "measured (DES)"],
+        )
+    )
+    for name in ("cam", "spdk", "bam"):
+        measured = _measured_point(name, 12, 4 * KiB, False, requests)
+        check.add_row(
+            name,
+            12,
+            to_gb_per_s(model.throughput(name, 4 * KiB, False)),
+            to_gb_per_s(measured),
+        )
+    measured = _measured_point("posix", 12, 4 * KiB, False,
+                               max(200, requests // 3))
+    check.add_row(
+        "posix", 12,
+        to_gb_per_s(model.throughput("posix", 4 * KiB, False)),
+        to_gb_per_s(measured),
+    )
+    return result

@@ -1,0 +1,134 @@
+"""Fig. 11: CAM's synchronous-feeling API vs raw asynchronous APIs.
+
+Paper: CAM-Sync (the Table II API) matches CAM-Async (raw tickets) and
+SPDK's native async API on both achieved read throughput (vs SSD count)
+and sort execution time (vs dataset size) — programmability without a
+performance tax (Goal 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import make_backend
+from repro.config import PlatformConfig
+from repro.core.async_api import CamAsyncAPI
+from repro.experiments.report import ExperimentResult, Table
+from repro.hw.platform import Platform
+from repro.units import KiB, to_gb_per_s
+from repro.workloads.sort import sort_with_backend
+
+
+def _batched_read_throughput(
+    api_flavour: str, num_ssds: int, batches: int, batch_requests: int,
+    granularity: int = 4096,
+) -> float:
+    """Drive batched reads through one of the three API flavours."""
+    platform = Platform(PlatformConfig(num_ssds=num_ssds), functional=False)
+    env = platform.env
+    blocks = max(1, granularity // platform.config.ssd.block_size)
+    rng = np.random.default_rng(11)
+    lba_batches = [
+        rng.integers(0, 1 << 18, size=batch_requests) * blocks
+        for _ in range(batches)
+    ]
+    total_bytes = batches * batch_requests * granularity
+
+    if api_flavour == "spdk":
+        backend = make_backend("spdk", platform, to_gpu=False)
+
+        def driver():
+            for lbas in lba_batches:
+                children = [
+                    env.process(backend.io(int(lba), granularity))
+                    for lba in lbas
+                ]
+                yield env.all_of(children)
+
+        start = env.now
+        env.run(env.process(driver()))
+        return total_bytes / (env.now - start)
+
+    backend = make_backend("cam", platform)
+    context = backend.context
+    buffer = context.alloc(batch_requests * granularity)
+    if api_flavour == "cam-sync":
+        api = context.device_api()
+
+        def driver():
+            for lbas in lba_batches:
+                yield from api.prefetch(lbas, buffer, granularity)
+                yield from api.prefetch_synchronize()
+
+    elif api_flavour == "cam-async":
+        api = CamAsyncAPI(context)
+
+        def driver():
+            # keep two batches in flight, like the paper's raw usage
+            tickets = []
+            for lbas in lba_batches:
+                ticket = yield from api.submit(lbas, buffer, granularity)
+                tickets.append(ticket)
+                if len(tickets) >= 2:
+                    yield from api.wait(tickets.pop(0))
+            yield from api.wait_all()
+
+    else:
+        raise ValueError(api_flavour)
+
+    start = env.now
+    env.run(env.process(driver()))
+    return total_bytes / (env.now - start)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="CAM-Sync vs CAM-Async vs SPDK async",
+        paper_expectation=(
+            "all three flavours achieve nearly identical throughput and "
+            "sort times; the synchronous programming experience is free"
+        ),
+    )
+    batches = 4 if quick else 12
+    #: large batches, as in the paper's billion-element sort: a single
+    #: batch saturates the bandwidth-delay product on its own
+    batch_requests = 1024 if quick else 2048
+
+    thr = result.add_table(
+        Table(
+            "11a: random read throughput vs SSD count (GB/s)",
+            ["ssds", "cam-sync", "cam-async", "spdk"],
+        )
+    )
+    for num_ssds in ((4, 12) if quick else (2, 4, 8, 12)):
+        thr.add_row(
+            num_ssds,
+            *[
+                to_gb_per_s(
+                    _batched_read_throughput(
+                        flavour, num_ssds, batches, batch_requests
+                    )
+                )
+                for flavour in ("cam-sync", "cam-async", "spdk")
+            ],
+        )
+
+    times = result.add_table(
+        Table(
+            "11b: sort execution time vs dataset size (ms)",
+            ["elements", "cam-sync", "spdk-async"],
+        )
+    )
+    sizes = ((1 << 18, 1 << 19) if quick else (1 << 20, 1 << 21, 1 << 22))
+    for elements in sizes:
+        cam = sort_with_backend(
+            "cam", num_elements=elements,
+            chunk_bytes=256 * KiB, granularity=128 * KiB, verify=False,
+        )
+        spdk = sort_with_backend(
+            "spdk", num_elements=elements,
+            chunk_bytes=256 * KiB, granularity=128 * KiB, verify=False,
+        )
+        times.add_row(elements, cam.total_time * 1e3, spdk.total_time * 1e3)
+    return result

@@ -1,0 +1,67 @@
+"""Fig. 12: one CPU thread controlling multiple NVMe SSDs.
+
+Paper: with 12 SSDs, a thread can drive 2 SSDs with no loss; 4 SSDs per
+thread degrade to ~75 % of full throughput — hence CAM's N/4..N/2 core
+guidance.
+"""
+
+from __future__ import annotations
+
+from repro.backends import make_backend, measure_throughput
+from repro.config import PlatformConfig
+from repro.experiments.report import ExperimentResult, Table
+from repro.hw.platform import Platform
+from repro.model.throughput import ThroughputModel
+from repro.units import KiB, to_gb_per_s
+
+#: SSDs handled by each thread (12 SSDs total)
+_SSDS_PER_THREAD = (1, 2, 3, 4, 6, 12)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig12",
+        title="CAM throughput with one thread controlling k SSDs (12 SSDs)",
+        paper_expectation=(
+            "1-2 SSDs per thread lossless; decline beyond 2; 4 SSDs per "
+            "thread ~75% of full throughput"
+        ),
+    )
+    config = PlatformConfig(num_ssds=12)
+    model = ThroughputModel(config)
+    requests = 1200 if quick else 6000
+
+    for is_write, rw in ((False, "read"), (True, "write")):
+        table = result.add_table(
+            Table(
+                f"random {rw}, 4 KiB (GB/s)",
+                ["ssds_per_thread", "threads", "model",
+                 "measured (DES)", "fraction_of_full"],
+            )
+        )
+        full = model.throughput("cam", 4 * KiB, is_write, cores=12)
+        for per_thread in _SSDS_PER_THREAD:
+            threads = 12 // per_thread
+            predicted = model.throughput(
+                "cam", 4 * KiB, is_write, cores=threads
+            )
+            platform = Platform(config, functional=False)
+            backend = make_backend("cam", platform, num_cores=threads)
+            measured = measure_throughput(
+                backend,
+                granularity=4 * KiB,
+                is_write=is_write,
+                total_requests=requests,
+                concurrency=512,
+            )
+            table.add_row(
+                per_thread,
+                threads,
+                to_gb_per_s(predicted),
+                to_gb_per_s(measured),
+                predicted / full,
+            )
+    result.note(
+        "a dedicated polling thread is not counted, as in the paper's setup"
+    )
+    return result

@@ -1,0 +1,65 @@
+"""Registry mapping experiment ids to runner modules."""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import ExperimentResult
+
+#: experiment id -> module path (each module exposes ``run(quick=True)``)
+#: — strictly the paper's evaluation artifacts
+EXPERIMENTS: Dict[str, str] = {
+    "fig01": "repro.experiments.fig01_gids_breakdown",
+    "fig02": "repro.experiments.fig02_io_stacks",
+    "fig03": "repro.experiments.fig03_layer_breakdown",
+    "fig04": "repro.experiments.fig04_bam_sm_util",
+    "tab01": "repro.experiments.tab01_architecture",
+    "fig08": "repro.experiments.fig08_throughput",
+    "fig09": "repro.experiments.fig09_gnn_end2end",
+    "fig10": "repro.experiments.fig10_sort_gemm",
+    "tab06": "repro.experiments.tab06_loc",
+    "fig11": "repro.experiments.fig11_sync_vs_async",
+    "fig12": "repro.experiments.fig12_threads_per_ssd",
+    "fig13": "repro.experiments.fig13_cpu_cost",
+    "fig14": "repro.experiments.fig14_membw_usage",
+    "fig15": "repro.experiments.fig15_membw_limit",
+    "fig16": "repro.experiments.fig16_granularity",
+}
+
+#: additional studies: the Section II ANNS motivation number and
+#: ablations of CAM's individual design choices ("module:function")
+EXTRAS: Dict[str, str] = {
+    "anns": "repro.experiments.extras:run_anns",
+    "dlrm": "repro.experiments.extras:run_dlrm",
+    "llm": "repro.experiments.extras:run_llm",
+    "ablation_overlap": "repro.experiments.extras:run_ablation_overlap",
+    "ablation_datapath": "repro.experiments.extras:run_ablation_datapath",
+    "ablation_autotune": "repro.experiments.extras:run_ablation_autotune",
+    "fragmentation": "repro.experiments.extras:run_fragmentation",
+    "latency": "repro.experiments.extras:run_latency",
+    "host_cache": "repro.experiments.extras:run_host_cache",
+    "paper_scale_gnn": "repro.experiments.extras:run_paper_scale_gnn",
+    "ssd_character": "repro.experiments.extras:run_ssd_character",
+}
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable for one experiment id."""
+    target = EXPERIMENTS.get(exp_id)
+    if target is not None:
+        return import_module(target).run
+    target = EXTRAS.get(exp_id)
+    if target is not None:
+        module_path, _, function = target.partition(":")
+        return getattr(import_module(module_path), function)
+    raise ConfigurationError(
+        f"unknown experiment {exp_id!r}; known: "
+        f"{sorted(EXPERIMENTS) + sorted(EXTRAS)}"
+    )
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return get_experiment(exp_id)(quick=quick)

@@ -1,0 +1,112 @@
+"""Plain-text tables and experiment results.
+
+The harness prints the same rows/series the paper's figures plot; a
+:class:`Table` is one panel (one figure axis or one table), and an
+:class:`ExperimentResult` bundles a figure's panels with the reproduction
+notes recorded into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_value(value: Any) -> str:
+    """Consistent cell formatting: 3 significant-ish digits for floats."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """One panel: a header row plus data rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (for assertions in tests)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"no column {name!r} in {list(self.columns)}"
+            )
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [list(self.columns)] + [
+            [format_value(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells)
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        for index, row in enumerate(cells):
+            lines.append(
+                "  ".join(cell.ljust(width)
+                          for cell, width in zip(row, widths)).rstrip()
+            )
+            if index == 0:
+                lines.append("  ".join("=" * width for width in widths))
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: the paper's qualitative expectation, for EXPERIMENTS.md
+    paper_expectation: str = ""
+
+    def table(self, title: str) -> Table:
+        for tab in self.tables:
+            if tab.title == title:
+                return tab
+        raise ConfigurationError(f"no table {title!r} in {self.exp_id}")
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        header = f"=== {self.exp_id}: {self.title} ==="
+        parts = [header]
+        if self.paper_expectation:
+            parts.append(f"paper expects: {self.paper_expectation}")
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

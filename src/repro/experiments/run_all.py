@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate the paper's figures/tables.
+
+Usage::
+
+    python -m repro.experiments.run_all             # all, quick sizes
+    python -m repro.experiments.run_all --full      # EXPERIMENTS.md scale
+    python -m repro.experiments.run_all fig08 fig09 # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, EXTRAS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the CAM paper's figures and tables."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: every paper artifact)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at EXPERIMENTS.md scale instead of quick sizes",
+    )
+    parser.add_argument(
+        "--extras",
+        action="store_true",
+        help="also run the ANNS motivation study and the ablations",
+    )
+    args = parser.parse_args(argv)
+
+    known = dict(EXPERIMENTS)
+    known.update(EXTRAS)
+    selected = args.experiments or sorted(EXPERIMENTS)
+    if args.extras and not args.experiments:
+        selected = sorted(EXPERIMENTS) + sorted(EXTRAS)
+    unknown = [e for e in selected if e not in known]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    for exp_id in selected:
+        started = time.time()
+        result = run_experiment(exp_id, quick=not args.full)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"\n[{exp_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

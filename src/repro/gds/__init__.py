@@ -1,0 +1,12 @@
+"""NVIDIA GPUDirect Storage (GDS) baseline.
+
+GDS gives a direct SSD -> GPU data path (like CAM) but keeps the request
+path inside the EXT4 file system + NVFS kernel module + CUDA library —
+"these I/O unrelated operations account for 70% of the total processing
+time" (paper Section IV-E), which is why it manages only ~0.8 GB/s on the
+12-SSD testbed.
+"""
+
+from repro.gds.cufile import CuFileDriver
+
+__all__ = ["CuFileDriver"]

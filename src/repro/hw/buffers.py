@@ -1,0 +1,50 @@
+"""Plain host-memory buffers.
+
+The kernel stacks and the SPDK bounce path land device data in CPU memory
+first; :class:`HostBuffer` is the numpy-backed destination object with the
+same ``write_bytes``/``read_bytes`` protocol as
+:class:`~repro.hw.gpu.GPUBuffer`, so the SSD model can DMA into either.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+
+class HostBuffer:
+    """A contiguous CPU-memory buffer with raw byte access."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise AllocationError(f"invalid host buffer size {size}")
+        self.size = size
+        self._data = np.zeros(size, dtype=np.uint8)
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def write_bytes(self, offset: int, data: np.ndarray) -> None:
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if offset < 0 or offset + raw.nbytes > self.size:
+            raise AllocationError(
+                f"write of {raw.nbytes}B at +{offset} overflows "
+                f"{self.size}B host buffer"
+            )
+        self._data[offset : offset + raw.nbytes] = raw
+
+    def read_bytes(self, offset: int, nbytes: int) -> np.ndarray:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise AllocationError(
+                f"read of {nbytes}B at +{offset} overflows "
+                f"{self.size}B host buffer"
+            )
+        return self._data[offset : offset + nbytes].copy()
+
+    def view(self, dtype) -> np.ndarray:
+        return self._data.view(dtype)
+
+    def __repr__(self) -> str:
+        return f"<HostBuffer {self.size}B>"

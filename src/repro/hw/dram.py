@@ -1,0 +1,63 @@
+"""CPU DRAM model with a configurable channel count.
+
+The bounce-buffer data path (SPDK baseline, POSIX) crosses CPU memory twice
+per transferred byte — once written by the SSD DMA, once read by the
+GPU copy engine (paper Section IV-J: "Reading from SSDs consumes two times
+the CPU memory bandwidth").  CAM's direct path never touches DRAM.
+
+:class:`DRAM` wraps a :class:`~repro.sim.links.BandwidthLink` whose
+bandwidth scales with the channel count so Fig. 15's "2c" vs "16c"
+experiment is a one-line configuration change.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.config import DRAMConfig
+from repro.sim.core import Environment
+from repro.sim.links import BandwidthLink
+from repro.sim.stats import Counter
+
+
+class DRAM:
+    """Host memory: a shared bandwidth domain plus traffic accounting."""
+
+    def __init__(self, env: Environment, config: DRAMConfig):
+        self.env = env
+        self.config = config
+        self.link = BandwidthLink(
+            env,
+            name=f"DRAM({config.channels}ch)",
+            bandwidth=config.bandwidth,
+            chunk_bytes=1024 * 1024,
+        )
+        #: bytes of bounce-buffer traffic (both crossings counted)
+        self.bounce_bytes = Counter(env)
+
+    @property
+    def bandwidth(self) -> float:
+        return self.config.bandwidth
+
+    def access(self, nbytes: int) -> Generator:
+        """Process: one crossing of ``nbytes`` through the memory bus."""
+        yield from self.link.transfer(nbytes)
+
+    def bounce(self, nbytes: int) -> Generator:
+        """Process: a bounce-buffer staging of ``nbytes``.
+
+        The byte count crosses the bus twice (device DMA in, copy engine
+        out), which is the Fig. 14 "CPU memory bandwidth ~= 2x SSD
+        bandwidth" effect.
+        """
+        self.bounce_bytes.add(2 * nbytes)
+        yield from self.link.transfer(nbytes)
+        yield from self.link.transfer(nbytes)
+
+    def measured_bandwidth_usage(self) -> float:
+        """Bytes/second of DRAM traffic over the observation window."""
+        return self.link.bytes_moved.rate()
+
+    def reset_stats(self) -> None:
+        self.link.reset_stats()
+        self.bounce_bytes.reset()

@@ -1,0 +1,59 @@
+"""Fault injection for the SSD model.
+
+Real deployments see media errors; a control plane that cannot surface
+them corrupts data silently.  :class:`FaultInjector` lets tests and
+ablations plant failures — one-shot per (ssd, lba) or probabilistic — and
+the device answers with a non-zero CQE status instead of data.  Each
+control plane then propagates the error its own way (POSIX raises like a
+failed ``pread``; CAM fails the batch's completion event so
+``prefetch_synchronize`` raises).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: NVMe-ish status codes used by the model
+STATUS_OK = 0
+STATUS_MEDIA_ERROR = 0x281  # unrecovered read error
+STATUS_WRITE_FAULT = 0x280
+
+
+class FaultInjector:
+    """Plants device-level failures."""
+
+    def __init__(self, error_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ConfigurationError(
+                f"error_rate must be in [0, 1], got {error_rate}"
+            )
+        self.error_rate = error_rate
+        self._rng = np.random.default_rng(seed)
+        self._one_shot: Set[Tuple[int, int]] = set()
+        self.faults_delivered = 0
+
+    def inject_lba(self, ssd_id: int, lba: int) -> None:
+        """Fail the next command touching ``lba`` on SSD ``ssd_id``."""
+        self._one_shot.add((ssd_id, lba))
+
+    def check(self, ssd_id: int, lba: int, num_blocks: int,
+              is_write: bool) -> int:
+        """Status for a command covering [lba, lba+num_blocks)."""
+        for block in range(lba, lba + num_blocks):
+            key = (ssd_id, block)
+            if key in self._one_shot:
+                self._one_shot.discard(key)
+                self.faults_delivered += 1
+                return STATUS_WRITE_FAULT if is_write else STATUS_MEDIA_ERROR
+        if self.error_rate and self._rng.random() < self.error_rate:
+            self.faults_delivered += 1
+            return STATUS_WRITE_FAULT if is_write else STATUS_MEDIA_ERROR
+        return STATUS_OK
+
+    @property
+    def pending_one_shot(self) -> int:
+        return len(self._one_shot)

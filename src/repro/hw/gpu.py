@@ -1,0 +1,294 @@
+"""GPU model (NVIDIA A100 80GB PCIe calibration).
+
+What the reproduction needs from a GPU:
+
+* an **SM pool** that compute kernels and (in BaM) I/O submission/polling
+  contend for — the mechanism behind the paper's Fig. 4 and the
+  serialization Issue 3;
+* a **kernel cost model**: a roofline ``max(flops / peak_flops,
+  bytes / hbm_bw)`` scaled by the fraction of SMs granted;
+* **GPU memory buffers** with real numpy backing, a pinned flag and a fake
+  physical address so the CAM data path can "build NVMe SQEs that target
+  pinned GPU memory" exactly like the paper describes;
+* a **copy engine** modelling ``cudaMemcpyAsync`` (per-call CPU overhead +
+  PCIe occupancy), used by the bounce-buffer baselines (Figs. 14-16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import GPUConfig
+from repro.errors import AllocationError, SimulationError
+from repro.sim.core import Environment
+from repro.sim.links import BandwidthLink
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter, TimeWeightedStat
+
+#: base of the fake GPU physical address space handed to GDRCopy
+_GPU_PHYS_BASE = 0x7F00_0000_0000
+
+
+class GPUBuffer:
+    """A contiguous allocation in GPU memory with numpy backing."""
+
+    def __init__(self, memory: "GPUMemory", offset: int, size: int):
+        self._memory = memory
+        self.offset = offset
+        self.size = size
+        self.pinned = False
+        self.freed = False
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw byte view of this buffer (zero-copy into GPU memory)."""
+        if self.freed:
+            raise AllocationError("use-after-free of GPU buffer")
+        return self._memory._backing[self.offset : self.offset + self.size]
+
+    @property
+    def physical_address(self) -> int:
+        """Fake physical address; valid only once pinned (GDRCopy model)."""
+        if not self.pinned:
+            raise AllocationError(
+                "physical address requires a pinned buffer "
+                "(call GPUMemory.pin, as CAM_alloc does)"
+            )
+        return _GPU_PHYS_BASE + self.offset
+
+    def write_bytes(self, offset: int, data: np.ndarray) -> None:
+        """Store raw bytes at ``offset`` within the buffer."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if offset < 0 or offset + raw.nbytes > self.size:
+            raise AllocationError(
+                f"write of {raw.nbytes}B at +{offset} overflows "
+                f"{self.size}B buffer"
+            )
+        self.data[offset : offset + raw.nbytes] = raw
+
+    def read_bytes(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read raw bytes from ``offset`` within the buffer."""
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise AllocationError(
+                f"read of {nbytes}B at +{offset} overflows "
+                f"{self.size}B buffer"
+            )
+        return self.data[offset : offset + nbytes].copy()
+
+    def view(self, dtype) -> np.ndarray:
+        """Typed zero-copy view of the whole buffer."""
+        return self.data.view(dtype)
+
+    def __repr__(self) -> str:
+        flags = "pinned" if self.pinned else "pageable"
+        return f"<GPUBuffer +{self.offset:#x} {self.size}B {flags}>"
+
+
+class GPUMemory:
+    """First-fit free-list allocator over a single numpy arena.
+
+    The arena is materialized lazily in slabs so allocating an "80 GiB" GPU
+    does not reserve 80 GiB of host RAM; only bytes actually touched by
+    functional runs exist.
+    """
+
+    def __init__(self, capacity: int, arena_bytes: int = 256 * 1024 * 1024):
+        if capacity <= 0:
+            raise SimulationError("GPU memory capacity must be positive")
+        self.capacity = capacity
+        #: functional arena; sized to what laptop-scale runs actually touch.
+        self._arena_bytes = min(capacity, arena_bytes)
+        self._backing = np.zeros(self._arena_bytes, dtype=np.uint8)
+        #: free list of (offset, size), sorted by offset
+        self._free: List[Tuple[int, int]] = [(0, self._arena_bytes)]
+        self._allocated: Dict[int, GPUBuffer] = {}
+        self.bytes_in_use = 0
+
+    def alloc(self, size: int, align: int = 4096) -> GPUBuffer:
+        """Allocate ``size`` bytes (rounded up to ``align``)."""
+        if size <= 0:
+            raise AllocationError(f"invalid allocation size {size}")
+        size = -(-size // align) * align
+        for index, (offset, free_size) in enumerate(self._free):
+            if free_size >= size:
+                remainder = free_size - size
+                if remainder:
+                    self._free[index] = (offset + size, remainder)
+                else:
+                    del self._free[index]
+                buffer = GPUBuffer(self, offset, size)
+                self._allocated[offset] = buffer
+                self.bytes_in_use += size
+                return buffer
+        raise AllocationError(
+            f"out of GPU memory: requested {size}B, "
+            f"{self.free_bytes}B free (fragmented into {len(self._free)})"
+        )
+
+    def free(self, buffer: GPUBuffer) -> None:
+        """Release a buffer; coalesces adjacent free ranges."""
+        if buffer.freed:
+            raise AllocationError("double free of GPU buffer")
+        if self._allocated.pop(buffer.offset, None) is None:
+            raise AllocationError("freeing an unknown buffer")
+        buffer.freed = True
+        buffer.pinned = False
+        self.bytes_in_use -= buffer.size
+        self._free.append((buffer.offset, buffer.size))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for offset, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == offset:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((offset, size))
+        self._free = merged
+
+    def pin(self, buffer: GPUBuffer) -> int:
+        """Pin a buffer for device DMA (nvidia_p2p_get_pages model).
+
+        Returns the buffer's physical address.  The paper's CAM_alloc pins
+        at allocation time so SSDs can DMA straight into GPU memory.
+        """
+        if buffer.freed:
+            raise AllocationError("cannot pin a freed buffer")
+        buffer.pinned = True
+        return buffer.physical_address
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self._free)
+
+    def buffer_at_physical(self, physical_address: int) -> GPUBuffer:
+        """Resolve a physical address back to its pinned buffer (DMA path)."""
+        offset = physical_address - _GPU_PHYS_BASE
+        for base, buffer in self._allocated.items():
+            if base <= offset < base + buffer.size and buffer.pinned:
+                return buffer
+        raise AllocationError(
+            f"no pinned buffer maps physical address {physical_address:#x}"
+        )
+
+
+class GPU:
+    """SM pool + kernel cost model + copy engine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: GPUConfig,
+        pcie: Optional[BandwidthLink] = None,
+        arena_bytes: int = 256 * 1024 * 1024,
+    ):
+        self.env = env
+        self.config = config
+        self.pcie = pcie
+        self.memory = GPUMemory(config.memory_bytes, arena_bytes)
+        self._sms = Resource(env, capacity=config.num_sms)
+        #: the copy engine runs one cudaMemcpyAsync at a time; per-call
+        #: issue overhead therefore caps discontiguous small-copy rates
+        #: (Fig. 16)
+        self._copy_engine = Resource(env, capacity=1)
+        self.sm_busy = TimeWeightedStat(env)
+        self.kernels_launched = Counter(env)
+        self.memcpy_calls = Counter(env)
+        self.memcpy_bytes = Counter(env)
+
+    # -- SM reservation (used by BaM's I/O queues) -----------------------
+    def reserve_sms(self, count: int) -> Generator:
+        """Process: acquire ``count`` SMs; returns the request handles."""
+        if count < 0 or count > self.config.num_sms:
+            raise SimulationError(f"invalid SM count {count}")
+        grants = []
+        for _ in range(count):
+            request = self._sms.request()
+            yield request
+            grants.append(request)
+        self.sm_busy.add(count)
+        return grants
+
+    def release_sms(self, grants) -> None:
+        for request in grants:
+            self._sms.release(request)
+        self.sm_busy.add(-len(grants))
+
+    @property
+    def sms_available(self) -> int:
+        return self.config.num_sms - self._sms.count
+
+    def sm_utilization(self) -> float:
+        """Time-weighted mean fraction of SMs occupied."""
+        return self.sm_busy.mean() / self.config.num_sms
+
+    # -- kernels --------------------------------------------------------
+    def kernel_time(
+        self,
+        flops: float = 0.0,
+        bytes_accessed: float = 0.0,
+        sms: Optional[int] = None,
+        tensor: bool = False,
+    ) -> float:
+        """Roofline kernel duration for a given SM grant."""
+        total_sms = self.config.num_sms
+        granted = total_sms if sms is None else max(1, min(sms, total_sms))
+        fraction = granted / total_sms
+        peak = self.config.tensor_flops if tensor else self.config.fp32_flops
+        compute = flops / (peak * fraction) if flops else 0.0
+        memory = (
+            bytes_accessed / (self.config.hbm_bandwidth * fraction)
+            if bytes_accessed
+            else 0.0
+        )
+        return self.config.kernel_launch_overhead + max(compute, memory)
+
+    def launch_kernel(
+        self,
+        flops: float = 0.0,
+        bytes_accessed: float = 0.0,
+        sms: Optional[int] = None,
+        tensor: bool = False,
+    ) -> Generator:
+        """Process: run a kernel on ``sms`` SMs (default: all currently free).
+
+        The kernel *acquires* the SMs, so a BaM I/O engine holding most of
+        the GPU slows compute kernels down — the contention the paper's
+        Issue 3 describes.
+        """
+        want = self.sms_available if sms is None else sms
+        want = max(1, min(want, self.config.num_sms))
+        grants = yield from self.reserve_sms(want)
+        try:
+            duration = self.kernel_time(flops, bytes_accessed, want, tensor)
+            yield self.env.timeout(duration)
+            self.kernels_launched.add()
+        finally:
+            self.release_sms(grants)
+        return duration
+
+    # -- copy engine (cudaMemcpyAsync model) ------------------------------
+    def memcpy(self, nbytes: int, calls: int = 1) -> Generator:
+        """Process: host<->device copy of ``nbytes`` split over ``calls``
+        cudaMemcpyAsync invocations (discontiguous destinations need one
+        call per extent — the Fig. 16 penalty)."""
+        if nbytes < 0 or calls < 1:
+            raise SimulationError("invalid memcpy arguments")
+        per_call = nbytes // calls
+        for index in range(calls):
+            chunk = per_call if index < calls - 1 else nbytes - per_call * (
+                calls - 1
+            )
+            with self._copy_engine.request() as engine:
+                yield engine
+                yield self.env.timeout(self.config.memcpy_call_overhead)
+                if chunk:
+                    yield self.env.timeout(
+                        chunk / self.config.copy_bandwidth
+                    )
+            if self.pcie is not None and chunk:
+                # fabric accounting (concurrent with the next call's issue)
+                self.pcie.bytes_moved.add(chunk)
+            self.memcpy_calls.add()
+            self.memcpy_bytes.add(chunk)
+        return nbytes

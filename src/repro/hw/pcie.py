@@ -1,0 +1,49 @@
+"""PCIe fabric model.
+
+All twelve SSDs and the GPU hang off the same host PCIe complex; the
+paper's measured ceiling for SSD<->GPU traffic is 21 GB/s (Section IV-B).
+We model the fabric as one shared :class:`~repro.sim.links.BandwidthLink`
+at that measured rate, with a per-TLP header charge so sub-4 KiB payloads
+lose additional efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.config import PCIeConfig
+from repro.sim.core import Environment
+from repro.sim.links import BandwidthLink
+
+
+class PCIeFabric:
+    """The shared host<->devices PCIe bandwidth domain."""
+
+    def __init__(self, env: Environment, config: PCIeConfig):
+        self.env = env
+        self.config = config
+        self.link = BandwidthLink(
+            env,
+            name=config.name,
+            bandwidth=config.bandwidth,
+            overhead_time=config.link_latency,
+            header_bytes=config.header_bytes,
+            max_payload=config.max_payload,
+            transaction_bytes=config.transaction_bytes,
+            chunk_bytes=256 * 1024,
+        )
+
+    def transfer(self, nbytes: int, extra_latency: float = 0.0):
+        """Process: move ``nbytes`` across the fabric."""
+        return self.link.transfer(nbytes, extra_latency)
+
+    def effective_bandwidth(self, payload_bytes: int) -> float:
+        """Payload rate achievable at a given request granularity."""
+        return self.link.effective_bandwidth(payload_bytes)
+
+    def throughput(self) -> float:
+        return self.link.throughput()
+
+    def utilization(self) -> float:
+        return self.link.utilization()
+
+    def reset_stats(self) -> None:
+        self.link.reset_stats()

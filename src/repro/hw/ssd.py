@@ -1,0 +1,260 @@
+"""NVMe SSD device model (Intel P5510 calibration).
+
+Timing model per command (see :class:`~repro.config.SSDConfig` for the
+constants and the paper figures they calibrate):
+
+1. **FTL / controller** — a serial per-SSD stage costing ``ftl_time`` per
+   SQE.  This is what makes IOPS the binding constraint at small
+   granularity and why larger accesses win (paper Section IV-B, third
+   observation).
+2. **Flash array** — ``flash_channels`` parallel units; each command holds
+   one channel for ``media_latency + bytes / per_channel_bandwidth``.
+3. **Data movement** — the payload crosses the shared PCIe fabric to/from
+   the destination buffer (GPU or host memory); writes move data *before*
+   the media program, reads after the media read.
+
+The device is also *functional*: a sparse :class:`BlockStore` keeps real
+bytes so end-to-end workloads (mergesort, GEMM) verify correct results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.config import SSDConfig
+from repro.errors import InvalidLBAError, SimulationError
+from repro.hw.nvme import CQE, SQE, NVMeOpcode, QueuePair
+from repro.sim.core import Environment
+from repro.sim.links import BandwidthLink
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter, LatencyStat
+
+_PAGE_BYTES = 64 * 1024
+
+
+class BlockStore:
+    """Sparse byte store addressed by byte offset (LBA * block_size).
+
+    Pages are materialized on first write; reads of never-written ranges
+    return zeros, like a freshly formatted device.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise SimulationError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._pages: Dict[int, np.ndarray] = {}
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity_bytes:
+            raise InvalidLBAError(
+                f"range [{offset}, {offset + nbytes}) outside device "
+                f"of {self.capacity_bytes} bytes"
+            )
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Store ``data`` (any dtype; written as raw bytes) at ``offset``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        self._check_range(offset, raw.nbytes)
+        position = offset
+        cursor = 0
+        while cursor < raw.nbytes:
+            page_index, page_offset = divmod(position, _PAGE_BYTES)
+            take = min(_PAGE_BYTES - page_offset, raw.nbytes - cursor)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = np.zeros(_PAGE_BYTES, dtype=np.uint8)
+                self._pages[page_index] = page
+            page[page_offset : page_offset + take] = raw[cursor : cursor + take]
+            position += take
+            cursor += take
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        """Return ``nbytes`` raw bytes starting at ``offset``."""
+        self._check_range(offset, nbytes)
+        out = np.zeros(nbytes, dtype=np.uint8)
+        position = offset
+        cursor = 0
+        while cursor < nbytes:
+            page_index, page_offset = divmod(position, _PAGE_BYTES)
+            take = min(_PAGE_BYTES - page_offset, nbytes - cursor)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[cursor : cursor + take] = page[
+                    page_offset : page_offset + take
+                ]
+            position += take
+            cursor += take
+        return out
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of pages actually materialized (for memory hygiene tests)."""
+        return len(self._pages) * _PAGE_BYTES
+
+    def trim(self) -> None:
+        """Discard all stored data (like an NVMe format)."""
+        self._pages.clear()
+
+
+class SSD:
+    """One NVMe SSD: queue pairs, timing pipeline and functional store."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: SSDConfig,
+        pcie: Optional[BandwidthLink],
+        ssd_id: int = 0,
+        functional: bool = True,
+        fault_injector=None,
+    ):
+        self.env = env
+        self.config = config
+        self.pcie = pcie
+        self.ssd_id = ssd_id
+        self.functional = functional
+        self.store = BlockStore(config.capacity_bytes) if functional else None
+        #: optional :class:`~repro.hw.faults.FaultInjector`
+        self.fault_injector = fault_injector
+        self.faults_reported = 0
+
+        self._ftl = Resource(env, capacity=1)
+        self._channels = Resource(env, capacity=config.flash_channels)
+        per_channel_read = config.seq_read_bw / config.flash_channels
+        per_channel_write = config.seq_write_bw / config.flash_channels
+        self._channel_bw = {
+            False: per_channel_read,
+            True: per_channel_write,
+        }
+        self._queue_pairs: List[QueuePair] = []
+        self._next_qid = 0
+
+        self.reads_completed = Counter(env)
+        self.writes_completed = Counter(env)
+        self.bytes_read = Counter(env)
+        self.bytes_written = Counter(env)
+        self.read_latency = LatencyStat()
+        self.write_latency = LatencyStat()
+
+    # -- queue pair management ---------------------------------------------
+    def create_queue_pair(self, depth: Optional[int] = None) -> QueuePair:
+        """Create a queue pair and start its device-side consumer."""
+        qp = QueuePair(
+            self.env, self._next_qid, depth or self.config.queue_depth
+        )
+        self._next_qid += 1
+        self._queue_pairs.append(qp)
+        self.env.process(self._consume(qp))
+        return qp
+
+    @property
+    def queue_pairs(self) -> List[QueuePair]:
+        return list(self._queue_pairs)
+
+    # -- device-side processing ----------------------------------------------
+    def _consume(self, qp: QueuePair) -> Generator:
+        """Drain a queue pair forever, spawning one handler per command."""
+        while True:
+            sqe = yield qp.sq.get()
+            self.env.process(self._handle(qp, sqe))
+
+    def _handle(self, qp: QueuePair, sqe: SQE) -> Generator:
+        is_write = sqe.opcode.is_write
+        nbytes = sqe.nbytes(self.config.block_size)
+        offset = sqe.lba * self.config.block_size
+
+        if sqe.opcode is NVMeOpcode.FLUSH:
+            # a flush drains the device write path: model as one FTL pass
+            with self._ftl.request() as slot:
+                yield slot
+                yield self.env.timeout(self.config.ftl_time(True))
+            qp.post_completion(CQE(command_id=sqe.command_id))
+            return
+
+        if self.store is not None:
+            # validate range up-front so bad requests fail loudly
+            self.store._check_range(offset, nbytes)
+
+        if self.fault_injector is not None:
+            status = self.fault_injector.check(
+                self.ssd_id, sqe.lba, sqe.num_blocks, is_write
+            )
+            if status:
+                # the media attempt still costs time before the error is
+                # reported back
+                yield from self._media(nbytes, is_write=is_write)
+                self.faults_reported += 1
+                qp.post_completion(
+                    CQE(command_id=sqe.command_id, status=status)
+                )
+                return
+
+        value = None
+        if is_write:
+            # Host/GPU -> SSD data movement first, then media program.
+            if self.pcie is not None and nbytes:
+                yield from self.pcie.transfer(nbytes)
+            if self.store is not None and sqe.payload is not None:
+                self.store.write(offset, sqe.payload)
+            yield from self._media(nbytes, is_write=True)
+        else:
+            yield from self._media(nbytes, is_write=False)
+            if self.pcie is not None and nbytes:
+                yield from self.pcie.transfer(nbytes)
+            if self.store is not None:
+                data = self.store.read(offset, nbytes)
+                value = self._deliver(sqe, data)
+
+        latency = self.env.now - sqe.submit_time
+        if is_write:
+            self.writes_completed.add()
+            self.bytes_written.add(nbytes)
+            self.write_latency.record(latency)
+        else:
+            self.reads_completed.add()
+            self.bytes_read.add(nbytes)
+            self.read_latency.record(latency)
+        qp.post_completion(CQE(command_id=sqe.command_id, value=value))
+
+    def _media(self, nbytes: int, is_write: bool) -> Generator:
+        """FTL serialization + flash-channel occupancy."""
+        with self._ftl.request() as slot:
+            yield slot
+            yield self.env.timeout(self.config.ftl_time(is_write))
+        with self._channels.request() as channel:
+            yield channel
+            transfer = nbytes / self._channel_bw[is_write]
+            yield self.env.timeout(
+                self.config.media_latency(is_write) + transfer
+            )
+
+    def _deliver(self, sqe: SQE, data: np.ndarray):
+        """Place read data into the destination buffer, if one was given."""
+        if sqe.target is None:
+            return data
+        sqe.target.write_bytes(sqe.target_offset, data)
+        return None
+
+    # -- reporting --------------------------------------------------------
+    def read_throughput(self) -> float:
+        return self.bytes_read.rate()
+
+    def write_throughput(self) -> float:
+        return self.bytes_written.rate()
+
+    def reset_stats(self) -> None:
+        for counter in (
+            self.reads_completed,
+            self.writes_completed,
+            self.bytes_read,
+            self.bytes_written,
+        ):
+            counter.reset()
+        self.read_latency.reset()
+        self.write_latency.reset()
+
+    def __repr__(self) -> str:
+        return f"<SSD#{self.ssd_id} {self.config.name}>"

@@ -1,0 +1,26 @@
+"""Analytic performance models.
+
+The discrete-event simulation answers *per-request* questions; the
+analytic model in :mod:`repro.model.throughput` answers *steady-state*
+questions (sustained GB/s of a given control plane at a given granularity
+on N SSDs) in closed form, derived from the same calibration constants in
+:mod:`repro.config`.
+
+The test suite cross-validates the two on selected points, and the
+figure sweeps / bulk workload I/O use the analytic form so paper-scale
+experiments stay fast.
+"""
+
+from repro.model.throughput import (
+    BACKENDS,
+    ThroughputModel,
+    device_iops,
+    pcie_payload_bandwidth,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ThroughputModel",
+    "device_iops",
+    "pcie_payload_bandwidth",
+]

@@ -1,0 +1,317 @@
+"""Closed-form steady-state throughput of every control plane.
+
+For a request stream of granularity ``g`` the sustained rate is the
+minimum over four stages, each derived from :mod:`repro.config` constants:
+
+1. **control plane** — requests/second the submission/completion machinery
+   sustains (CPU threads, GPU SMs, or the GDS serial section);
+2. **devices** — ``N x min(FTL IOPS, flash-channel rate)``;
+3. **fabric** — PCIe payload bandwidth at that granularity;
+4. **data path** — bounce-buffer stages when the backend stages through
+   CPU memory: DRAM bandwidth / 2 and the cudaMemcpy issue rate.
+
+Every figure sweep in :mod:`repro.experiments` and every bulk I/O time in
+the workloads comes from this module, so the paper's shapes trace back to
+one set of equations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import PlatformConfig, SSDConfig
+from repro.errors import ConfigurationError
+
+#: control planes the model understands
+BACKENDS = (
+    "posix",
+    "libaio",
+    "io_uring int",
+    "io_uring poll",
+    "spdk",
+    "bam",
+    "gds",
+    "cam",
+)
+
+#: backends whose data path stages through CPU memory
+_BOUNCE_BACKENDS = {"posix", "libaio", "io_uring int", "io_uring poll", "spdk"}
+
+
+def device_iops(ssd: SSDConfig, granularity: int, is_write: bool) -> float:
+    """Requests/second one SSD sustains at ``granularity`` bytes.
+
+    The FTL per-SQE cost caps small-request IOPS; the flash channels cap
+    large-request bandwidth (asymptote: the sequential rate).
+    """
+    if granularity <= 0:
+        raise ConfigurationError("granularity must be positive")
+    ftl_rate = 1.0 / ssd.ftl_time(is_write)
+    per_channel_bw = ssd.media_bandwidth(is_write) / ssd.flash_channels
+    channel_time = ssd.media_latency(is_write) + granularity / per_channel_bw
+    channel_rate = ssd.flash_channels / channel_time
+    return min(ftl_rate, channel_rate)
+
+
+def pcie_payload_bandwidth(config: PlatformConfig, granularity: int) -> float:
+    """Payload bytes/second the PCIe fabric carries at ``granularity``."""
+    pcie = config.pcie
+    packets = -(-granularity // pcie.max_payload)
+    wire = granularity + packets * pcie.header_bytes + pcie.transaction_bytes
+    return pcie.bandwidth * granularity / wire
+
+
+@dataclass
+class ThroughputModel:
+    """Steady-state throughput calculator bound to a platform config."""
+
+    config: PlatformConfig
+
+    # ------------------------------------------------------------------
+    def control_rate(
+        self,
+        backend: str,
+        granularity: int,
+        is_write: bool,
+        num_ssds: Optional[int] = None,
+        cores: Optional[int] = None,
+    ) -> float:
+        """Requests/second the control plane sustains."""
+        config = self.config
+        num_ssds = num_ssds or config.num_ssds
+        kio = config.kernel_io
+        inflation = kio.write_inflation if is_write else 1.0
+        iomap = kio.iomap_time * (
+            1.0 + 0.15 * (max(1, -(-granularity // 4096)) - 1)
+        )
+        unpin = iomap * 0.4 * inflation
+
+        if backend == "posix":
+            # RAID0 over more SSDs is driven with more worker threads
+            # (fio numjobs style), but the kernel path keeps it far from
+            # the devices' ability regardless
+            threads = cores or min(16, kio.posix_threads * num_ssds)
+            cpu = (
+                kio.user_time
+                + kio.syscall_time
+                + kio.filesystem_time
+                + iomap
+                + kio.blockio_time
+            ) * inflation + unpin + kio.interrupt_time
+            round_trip = self._device_round_trip(granularity, is_write)
+            return threads / (cpu + round_trip)
+        if backend == "libaio":
+            serial = (
+                kio.user_time
+                + kio.syscall_time / 32.0
+                + kio.filesystem_time
+                + iomap
+                + kio.blockio_time
+            ) * inflation + unpin + kio.interrupt_time
+            return (cores or kio.libaio_threads) / serial
+        if backend == "io_uring int":
+            serial = (
+                kio.user_time * 0.5
+                + kio.filesystem_time
+                + iomap
+                + kio.blockio_time
+            ) * inflation + unpin + kio.interrupt_time * 0.75
+            return (cores or kio.io_uring_threads) / serial
+        if backend == "io_uring poll":
+            serial = (
+                kio.user_time * 0.5
+                + kio.filesystem_time
+                + iomap
+                + kio.blockio_time
+            ) * inflation + unpin + 0.30e-6
+            return (cores or kio.io_uring_threads) / serial
+        if backend == "spdk":
+            reactors = cores or num_ssds
+            return reactors / config.spdk.per_request_cpu
+        if backend == "cam":
+            reactors = cores or max(1, math.ceil(num_ssds / 2))
+            return reactors / config.cam.per_request_cpu
+        if backend == "bam":
+            iops = (
+                config.ssd.rand_write_iops
+                if is_write
+                else config.ssd.rand_read_iops
+            )
+            sms = (
+                cores
+                if cores is not None
+                else min(
+                    config.gpu.num_sms,
+                    math.ceil(num_ssds * iops / config.bam.iops_per_sm),
+                )
+            )
+            return sms * config.bam.iops_per_sm
+        if backend == "gds":
+            return 1.0 / config.gds.per_request_cpu
+        raise ConfigurationError(f"unknown backend {backend!r}")
+
+    def _device_round_trip(self, granularity: int, is_write: bool) -> float:
+        """Latency of one device access (for synchronous stacks)."""
+        ssd = self.config.ssd
+        per_channel_bw = ssd.media_bandwidth(is_write) / ssd.flash_channels
+        return (
+            ssd.ftl_time(is_write)
+            + ssd.media_latency(is_write)
+            + granularity / per_channel_bw
+            + granularity / self.config.pcie.bandwidth
+            + 2 * self.config.pcie.link_latency
+        )
+
+    # ------------------------------------------------------------------
+    def throughput(
+        self,
+        backend: str,
+        granularity: int = 4096,
+        is_write: bool = False,
+        num_ssds: Optional[int] = None,
+        cores: Optional[int] = None,
+        dram_channels: Optional[int] = None,
+        contiguous_dest: bool = True,
+        to_gpu: bool = True,
+    ) -> float:
+        """Sustained payload bytes/second of ``backend``.
+
+        Parameters
+        ----------
+        cores:
+            Control-plane parallelism override: CPU threads/reactors, or
+            SMs for ``bam``.
+        dram_channels:
+            Override the platform's memory channel count (Fig. 15).
+        contiguous_dest:
+            For bounce backends, whether the GPU destination is one extent
+            (one big cudaMemcpy) or per-request extents (one call each —
+            the Fig. 16 penalty).
+        to_gpu:
+            False measures SSD<->CPU-memory only (Fig. 2's fio-style runs).
+        """
+        config = self.config
+        num_ssds = num_ssds or config.num_ssds
+        if backend not in BACKENDS:
+            raise ConfigurationError(f"unknown backend {backend!r}")
+
+        stages = []
+        control = self.control_rate(
+            backend, granularity, is_write, num_ssds, cores
+        )
+        stages.append(control * granularity)
+        stages.append(
+            num_ssds * device_iops(config.ssd, granularity, is_write)
+            * granularity
+        )
+        stages.append(pcie_payload_bandwidth(config, granularity))
+
+        if backend in _BOUNCE_BACKENDS and to_gpu:
+            channels = dram_channels or config.dram.channels
+            dram_bw = channels * config.dram.per_channel_bw
+            # every payload byte crosses DRAM twice
+            stages.append(dram_bw / 2.0)
+            # the second PCIe hop (host -> GPU) has the same fabric rate
+            stages.append(pcie_payload_bandwidth(config, granularity))
+            gpu = config.gpu
+            if contiguous_dest:
+                stages.append(gpu.copy_bandwidth)
+            else:
+                per_call = gpu.memcpy_call_overhead + (
+                    granularity / gpu.copy_bandwidth
+                )
+                stages.append(granularity / per_call)
+        elif backend in _BOUNCE_BACKENDS:
+            channels = dram_channels or config.dram.channels
+            dram_bw = channels * config.dram.per_channel_bw
+            stages.append(dram_bw)
+
+        return min(stages)
+
+    # ------------------------------------------------------------------
+    def io_time(
+        self,
+        backend: str,
+        total_bytes: float,
+        granularity: int = 4096,
+        is_write: bool = False,
+        **kwargs,
+    ) -> float:
+        """Seconds to move ``total_bytes`` in steady state."""
+        if total_bytes < 0:
+            raise ConfigurationError("total_bytes must be non-negative")
+        if total_bytes == 0:
+            return 0.0
+        rate = self.throughput(
+            backend, granularity, is_write, **kwargs
+        )
+        latency = self._device_round_trip(granularity, is_write)
+        return total_bytes / rate + latency
+
+    def dram_usage(
+        self, backend: str, achieved_bytes_per_s: float
+    ) -> float:
+        """CPU memory bandwidth a backend consumes at a given SSD rate
+        (Fig. 14): 2x for bounce paths, ~0 for the direct path."""
+        if backend in _BOUNCE_BACKENDS:
+            return 2.0 * achieved_bytes_per_s
+        return 0.0
+
+    def explain(
+        self,
+        backend: str,
+        granularity: int = 4096,
+        is_write: bool = False,
+        num_ssds: Optional[int] = None,
+        cores: Optional[int] = None,
+        dram_channels: Optional[int] = None,
+        contiguous_dest: bool = True,
+        to_gpu: bool = True,
+    ) -> Dict[str, float]:
+        """Per-stage rates (bytes/s) plus which stage binds.
+
+        Returns a dict of stage name -> sustainable rate; the minimum is
+        the achieved throughput, under the key ``"achieved"``, and the
+        binding stage's name under ``"bottleneck"``.
+        """
+        config = self.config
+        num_ssds = num_ssds or config.num_ssds
+        if backend not in BACKENDS:
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        stages: Dict[str, float] = {}
+        stages["control_plane"] = (
+            self.control_rate(backend, granularity, is_write, num_ssds,
+                              cores)
+            * granularity
+        )
+        stages["devices"] = (
+            num_ssds * device_iops(config.ssd, granularity, is_write)
+            * granularity
+        )
+        stages["pcie"] = pcie_payload_bandwidth(config, granularity)
+        if backend in _BOUNCE_BACKENDS and to_gpu:
+            channels = dram_channels or config.dram.channels
+            stages["dram (2 crossings)"] = (
+                channels * config.dram.per_channel_bw / 2.0
+            )
+            stages["pcie (gpu hop)"] = pcie_payload_bandwidth(
+                config, granularity
+            )
+            gpu = config.gpu
+            if contiguous_dest:
+                stages["copy engine"] = gpu.copy_bandwidth
+            else:
+                per_call = gpu.memcpy_call_overhead + (
+                    granularity / gpu.copy_bandwidth
+                )
+                stages["copy engine"] = granularity / per_call
+        elif backend in _BOUNCE_BACKENDS:
+            channels = dram_channels or config.dram.channels
+            stages["dram"] = channels * config.dram.per_channel_bw
+        bottleneck = min(stages, key=stages.get)
+        out: Dict[str, float] = dict(stages)
+        out["achieved"] = stages[bottleneck]
+        out["bottleneck"] = bottleneck  # type: ignore[assignment]
+        return out

@@ -1,0 +1,35 @@
+"""OS-kernel I/O stacks: POSIX pread/pwrite, libaio, io_uring.
+
+These model the paper's "Traditional CPU-OS-Managed SSD Management"
+baselines.  Every request pays CPU time in four layers (paper Fig. 3):
+
+    User -> File system (LBA retrieval) -> I/O mapping (page pin/unpin)
+         -> Block I/O (request queue + doorbell)
+
+plus a syscall cost (POSIX, libaio) and either an interrupt delivery cost
+(POSIX, libaio, io_uring interrupt mode) or a polling cost (io_uring poll
+mode) per completion.
+"""
+
+from repro.oskernel.filesystem import Ext4FileSystem, FileHandle
+from repro.oskernel.iomap import IOMapper
+from repro.oskernel.blockio import BlockLayer
+from repro.oskernel.stacks import (
+    IoUringStack,
+    KernelStack,
+    LayerBreakdown,
+    LibaioStack,
+    PosixStack,
+)
+
+__all__ = [
+    "BlockLayer",
+    "Ext4FileSystem",
+    "FileHandle",
+    "IOMapper",
+    "IoUringStack",
+    "KernelStack",
+    "LayerBreakdown",
+    "LibaioStack",
+    "PosixStack",
+]

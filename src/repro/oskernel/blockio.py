@@ -1,0 +1,108 @@
+"""Block I/O layer: the kernel's request queue in front of each NVMe SSD.
+
+Owns one kernel queue pair per SSD and a completion dispatcher that
+matches CQEs back to per-request events.  The dispatcher also charges the
+completion-side CPU cost (interrupt delivery or completion polling,
+depending on the stack's mode).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.hw.nvme import CQE, SQE
+from repro.hw.ssd import SSD
+from repro.sim.core import Environment, Event
+from repro.sim.stats import Counter
+
+
+class CompletionDispatcher:
+    """Pops CQEs off one queue pair and wakes the matching waiter.
+
+    ``completion_cost`` seconds of CPU time are charged per completion
+    (IRQ + softirq for interrupt mode, poll-loop share for poll mode).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        queue_pair,
+        completion_cost: float = 0.0,
+        cpu=None,
+        on_complete: Optional[Callable[[CQE], None]] = None,
+    ):
+        self.env = env
+        self.qp = queue_pair
+        self.completion_cost = completion_cost
+        #: optional CPU resource the completion cost contends on — the
+        #: interrupt lands on the same core that submits, so single-thread
+        #: stacks serialize completion handling with submission work.
+        self.cpu = cpu
+        self.on_complete = on_complete
+        self._waiters: Dict[int, Event] = {}
+        self.completions = Counter(env)
+        env.process(self._run())
+
+    def register(self, command_id: int) -> Event:
+        """Create the event a submitter waits on for ``command_id``."""
+        if command_id in self._waiters:
+            raise SimulationError(f"duplicate command id {command_id}")
+        event = self.env.event()
+        self._waiters[command_id] = event
+        return event
+
+    def _run(self) -> Generator:
+        while True:
+            cqe = yield self.qp.pop_completion()
+            if self.completion_cost:
+                if self.cpu is not None:
+                    with self.cpu.request() as core:
+                        yield core
+                        yield self.env.timeout(self.completion_cost)
+                else:
+                    yield self.env.timeout(self.completion_cost)
+            self.completions.add()
+            if self.on_complete is not None:
+                self.on_complete(cqe)
+            waiter = self._waiters.pop(cqe.command_id, None)
+            if waiter is not None:
+                waiter.succeed(cqe)
+
+
+class BlockLayer:
+    """Kernel request queues: one queue pair (+ dispatcher) per SSD."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ssds,
+        completion_cost: float = 0.0,
+        queue_depth: Optional[int] = None,
+        cpu=None,
+    ):
+        self.env = env
+        self.ssds = list(ssds)
+        if not self.ssds:
+            raise SimulationError("block layer needs at least one SSD")
+        self._qps = [ssd.create_queue_pair(queue_depth) for ssd in self.ssds]
+        self._dispatchers = [
+            CompletionDispatcher(env, qp, completion_cost, cpu=cpu)
+            for qp in self._qps
+        ]
+        self.requests_submitted = Counter(env)
+
+    def submit_and_wait(self, ssd_index: int, sqe: SQE) -> Generator:
+        """Process: dispatch ``sqe`` to SSD ``ssd_index``, wait for the CQE."""
+        if not 0 <= ssd_index < len(self.ssds):
+            raise SimulationError(f"no SSD {ssd_index}")
+        qp = self._qps[ssd_index]
+        dispatcher = self._dispatchers[ssd_index]
+        done = dispatcher.register(sqe.command_id)
+        self.requests_submitted.add()
+        yield qp.submit(sqe)
+        cqe = yield done
+        return cqe
+
+    def queue_pair(self, ssd_index: int):
+        return self._qps[ssd_index]

@@ -1,0 +1,344 @@
+"""The kernel I/O stacks themselves: POSIX, libaio, io_uring (int/poll).
+
+Each stack exposes one coroutine, :meth:`KernelStack.io`, that performs a
+single I/O through the full kernel path and resumes when the data is in
+host memory.  The differences between stacks are:
+
+=================  ========================  ===========================
+stack              submission cost           completion cost
+=================  ========================  ===========================
+POSIX pread        syscall per request       interrupt + context switch
+libaio             syscall per batch,        interrupt + io_getevents
+                   kernel layers per req
+io_uring (int)     ring write, kernel        interrupt
+                   layers per req
+io_uring (poll)    ring write, kernel        kernel-side completion poll
+                   layers per req
+=================  ========================  ===========================
+
+All four pay the file-system (LBA retrieval) and io_map (page pin/unpin)
+layers per request — the > 34 % overhead of Fig. 3 and the reason none of
+them reach the SSD's native throughput in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from repro.config import KernelIOConfig, LibaioCostConfig
+from repro.errors import SimulationError
+from repro.hw.cpu import CycleAccountant
+from repro.hw.nvme import SQE, NVMeOpcode
+from repro.hw.platform import Platform
+from repro.oskernel.blockio import BlockLayer
+from repro.oskernel.iomap import IOMapper
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter
+
+#: layer names in paper Fig. 3 order
+LAYERS = ("user", "filesystem", "iomap", "blockio")
+
+
+@dataclass
+class LayerBreakdown:
+    """Accumulated CPU seconds per kernel layer (paper Fig. 3)."""
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: {layer: 0.0 for layer in LAYERS}
+    )
+
+    def charge(self, layer: str, duration: float) -> None:
+        if layer not in self.seconds:
+            raise SimulationError(f"unknown layer {layer!r}")
+        self.seconds[layer] += duration
+
+    def fractions(self) -> Dict[str, float]:
+        total = sum(self.seconds.values())
+        if not total:
+            return {layer: 0.0 for layer in LAYERS}
+        return {
+            layer: value / total for layer, value in self.seconds.items()
+        }
+
+    def kernel_overhead_fraction(self) -> float:
+        """Share of CPU time in fs + io_map — the paper's > 34 % claim."""
+        fractions = self.fractions()
+        return fractions["filesystem"] + fractions["iomap"]
+
+
+class KernelStack:
+    """Shared machinery for the kernel-mediated stacks."""
+
+    #: human-readable name used in reports
+    name = "kernel"
+
+    def __init__(
+        self,
+        platform: Platform,
+        completion_cost: float,
+        submit_threads: int,
+        config: Optional[KernelIOConfig] = None,
+    ):
+        self.platform = platform
+        self.env = platform.env
+        self.config = config or platform.config.kernel_io
+        self.iomap = IOMapper(self.env, self.config)
+        #: serializes submission-side CPU work across the stack's threads
+        self._submit_cpu = Resource(self.env, capacity=max(1, submit_threads))
+        self.block_layer = BlockLayer(
+            self.env,
+            platform.ssds,
+            completion_cost=completion_cost,
+            cpu=self._submit_cpu,
+        )
+        self.breakdown = LayerBreakdown()
+        self.accountant = CycleAccountant()
+        self.requests_done = Counter(self.env)
+        self.bytes_done = Counter(self.env)
+
+    # -- subclass hooks ------------------------------------------------
+    def _submission_layers(self, nbytes: int, is_write: bool):
+        """Yield ``(layer_name, seconds)`` of submission-side CPU work."""
+        raise NotImplementedError
+
+    def _charge_instructions(self, is_write: bool) -> None:
+        """Record Fig. 13-style instruction counts for one request."""
+
+    def _unpin_cost(self, nbytes: int) -> float:
+        """Completion-side io_map work (page unpin) per request."""
+        return self.iomap.pin_time(nbytes) * 0.4
+
+    # -- the request path ------------------------------------------------
+    def _inflate(self, cost: float, is_write: bool) -> float:
+        return cost * (self.config.write_inflation if is_write else 1.0)
+
+    def io(
+        self,
+        lba: int,
+        nbytes: int,
+        is_write: bool = False,
+        payload=None,
+        target=None,
+        target_offset: int = 0,
+        ssd_index: Optional[int] = None,
+    ) -> Generator:
+        """Process: one I/O through the kernel path.
+
+        ``lba`` is a *global* (RAID0-striped) LBA unless ``ssd_index``
+        pins the request to a specific device.
+        """
+        block_size = self.platform.config.ssd.block_size
+        num_blocks = max(1, -(-nbytes // block_size))
+        if ssd_index is None:
+            ssd, local_lba = self.platform.ssd_for_lba(lba)
+            ssd_index = ssd.ssd_id
+        else:
+            local_lba = lba
+
+        # submission-side CPU, serialized across the stack's threads
+        with self._submit_cpu.request() as cpu:
+            yield cpu
+            for layer, seconds in self._submission_layers(nbytes, is_write):
+                seconds = self._inflate(seconds, is_write)
+                self.breakdown.charge(layer, seconds)
+                yield self.env.timeout(seconds)
+
+        opcode = NVMeOpcode.WRITE if is_write else NVMeOpcode.READ
+        sqe = SQE(
+            opcode=opcode,
+            lba=local_lba,
+            num_blocks=num_blocks,
+            payload=payload,
+            target=target,
+            target_offset=target_offset,
+        )
+        cqe = yield from self.block_layer.submit_and_wait(ssd_index, sqe)
+        if not cqe.ok:
+            # pread/pwrite surface device errors as -EIO to the caller
+            from repro.errors import DeviceError
+
+            raise DeviceError(
+                f"{self.name}: device reported status {cqe.status:#x} "
+                f"for lba {local_lba} on SSD {ssd_index}"
+            )
+
+        # the DMA landed in host memory: account the DRAM crossing
+        yield from self.platform.dram.access(nbytes)
+
+        # unpin pages (second half of the io_map cost)
+        unpin = self._inflate(self._unpin_cost(nbytes), is_write)
+        self.breakdown.charge("iomap", unpin)
+        with self._submit_cpu.request() as cpu:
+            yield cpu
+            yield self.env.timeout(unpin)
+
+        self._charge_instructions(is_write)
+        self.accountant.complete_request()
+        self.requests_done.add()
+        self.bytes_done.add(nbytes)
+        return cqe
+
+    @property
+    def concurrency(self) -> int:
+        """Natural number of in-flight requests for peak throughput."""
+        raise NotImplementedError
+
+
+class PosixStack(KernelStack):
+    """POSIX ``pread``/``pwrite`` with ``O_DIRECT``: fully synchronous.
+
+    Each worker thread blocks inside the syscall for the whole device
+    round-trip, so peak throughput is ``threads / (cpu + device_latency)``
+    — the worst curve in Fig. 2.
+    """
+
+    name = "posix"
+
+    def __init__(self, platform: Platform, threads: Optional[int] = None):
+        config = platform.config.kernel_io
+        threads = threads or config.posix_threads
+        super().__init__(
+            platform,
+            completion_cost=config.interrupt_time,
+            submit_threads=threads,
+            config=config,
+        )
+        self.threads = threads
+        #: a pread blocks its calling thread for the whole round trip, so
+        #: at most ``threads`` requests are in flight regardless of how
+        #: many callers exist (open-loop traces included)
+        self._thread_slots = Resource(self.env, capacity=threads)
+
+    def io(self, *args, **kwargs):
+        with self._thread_slots.request() as slot:
+            yield slot
+            cqe = yield from super().io(*args, **kwargs)
+        return cqe
+
+    def _submission_layers(self, nbytes: int, is_write: bool):
+        config = self.config
+        yield "user", config.user_time + config.syscall_time
+        yield "filesystem", config.filesystem_time
+        yield "iomap", self.iomap.pin_time(nbytes)
+        yield "blockio", config.blockio_time
+
+    @property
+    def concurrency(self) -> int:
+        return self.threads
+
+
+class LibaioStack(KernelStack):
+    """libaio: asynchronous submission, interrupt-driven completion.
+
+    ``io_submit`` batches amortize the syscall, but every request still
+    walks the file-system and io_map layers; completions arrive by
+    interrupt and are reaped with ``io_getevents``.
+    """
+
+    name = "libaio"
+
+    def __init__(
+        self,
+        platform: Platform,
+        queue_depth: Optional[int] = None,
+        batch_size: int = 32,
+        cost_model: Optional[LibaioCostConfig] = None,
+    ):
+        config = platform.config.kernel_io
+        super().__init__(
+            platform,
+            completion_cost=config.interrupt_time,
+            submit_threads=config.libaio_threads,
+            config=config,
+        )
+        self.queue_depth = queue_depth or config.libaio_queue_depth
+        self.batch_size = max(1, batch_size)
+        self.cost_model = cost_model or platform.config.libaio_cost
+
+    def _submission_layers(self, nbytes: int, is_write: bool):
+        config = self.config
+        yield "user", (
+            config.user_time + config.syscall_time / self.batch_size
+        )
+        yield "filesystem", config.filesystem_time
+        yield "iomap", self.iomap.pin_time(nbytes)
+        yield "blockio", config.blockio_time
+
+    def _charge_instructions(self, is_write: bool) -> None:
+        model = self.cost_model
+        inflation = self.config.write_inflation if is_write else 1.0
+        self.accountant.charge(
+            "kernel", model.instructions_per_request * inflation, model.ipc
+        )
+        self.accountant.charge(
+            "interrupt", model.interrupt_instructions, model.ipc
+        )
+
+    @property
+    def concurrency(self) -> int:
+        return self.queue_depth
+
+
+class IoUringStack(KernelStack):
+    """io_uring in interrupt or completion-polling mode.
+
+    Submission avoids the per-request syscall entirely (shared rings);
+    the kernel layers remain.  Poll mode trades the interrupt cost for a
+    cheaper kernel-side poll share per completion.
+
+    ``fixed_buffers`` models ``IORING_REGISTER_BUFFERS``: destination
+    pages are pinned once up front, so the per-request io_map cost
+    collapses to a residual lookup — the kernel-side version of the
+    paper's "map once before batching access" observation.  The file-
+    system and block layers remain, which is why even this variant stays
+    below the device's ability.
+    """
+
+    #: residual per-request io_map cost with registered buffers
+    _FIXED_BUFFER_RESIDUAL = 0.15
+
+    def __init__(
+        self,
+        platform: Platform,
+        poll_mode: bool = False,
+        queue_depth: Optional[int] = None,
+        fixed_buffers: bool = False,
+    ):
+        config = platform.config.kernel_io
+        completion_cost = (
+            0.30e-6 if poll_mode else config.interrupt_time * 0.75
+        )
+        super().__init__(
+            platform,
+            completion_cost=completion_cost,
+            submit_threads=config.io_uring_threads,
+            config=config,
+        )
+        self.poll_mode = poll_mode
+        self.fixed_buffers = fixed_buffers
+        self.queue_depth = queue_depth or config.io_uring_queue_depth
+        self.name = "io_uring poll" if poll_mode else "io_uring int"
+        if fixed_buffers:
+            self.name += " (fixed buffers)"
+
+    def _submission_layers(self, nbytes: int, is_write: bool):
+        config = self.config
+        # ring-based submission: no syscall, smaller user share
+        yield "user", config.user_time * 0.5
+        yield "filesystem", config.filesystem_time
+        iomap = self.iomap.pin_time(nbytes)
+        if self.fixed_buffers:
+            iomap *= self._FIXED_BUFFER_RESIDUAL
+        yield "iomap", iomap
+        yield "blockio", config.blockio_time
+
+    def _unpin_cost(self, nbytes: int) -> float:
+        base = self.iomap.pin_time(nbytes) * 0.4
+        if self.fixed_buffers:
+            base *= self._FIXED_BUFFER_RESIDUAL
+        return base
+
+    @property
+    def concurrency(self) -> int:
+        return self.queue_depth

@@ -1,0 +1,376 @@
+"""Core of the discrete-event engine: environment, events and processes.
+
+Design notes
+------------
+* Simulated time is a ``float`` number of **seconds**.
+* The event heap orders by ``(time, priority, sequence)``; the sequence number
+  makes scheduling deterministic for events at the same instant.
+* A :class:`Process` wraps a generator.  Each ``yield``ed value must be an
+  :class:`Event`; when that event triggers, the process resumes with the
+  event's value (or the event's exception is thrown into the generator).
+* Interrupts follow SimPy semantics: ``process.interrupt(cause)`` throws
+  :class:`~repro.errors.ProcessInterrupt` into the generator at the current
+  simulation time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import ProcessInterrupt, SimulationError
+
+#: Scheduling priorities.  URGENT events run before NORMAL events scheduled
+#: for the same instant; interrupts use URGENT so they beat ordinary resumes.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    schedules it on the environment's heap, after which its callbacks run
+    exactly once.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: set True once `fail()`'s exception was delivered somewhere
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (value decided)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet decided")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value the event carried (or the exception if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet decided")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have ``exception`` thrown into
+        it.  If nothing ever waits, the environment re-raises it at
+        :meth:`Environment.step` time so errors never pass silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy success/failure state from ``event`` (chaining helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class Initialize(Event):
+    """Internal: first resume of a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class _InterruptEvent(Event):
+    """Internal: delivery vehicle for :meth:`Process.interrupt`."""
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any):
+        super().__init__(env)
+        self.callbacks.append(process._resume_interrupt)
+        self._ok = False
+        self._value = ProcessInterrupt(cause)
+        self._defused = True
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running generator.  Also an event that triggers when the generator
+    returns (with its return value) or raises (with the exception)."""
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process immediately."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._generator is self.env._active_generator:
+            raise SimulationError("a process cannot interrupt itself")
+        _InterruptEvent(self.env, self, cause)
+
+    # -- resumption ------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # finished before the interrupt was delivered
+        # Detach from whatever we were waiting on; we will be resumed by the
+        # interrupt instead.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_generator = self._generator
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_target = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:  # generator died with an error
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(next_target, Event):
+                exc2 = SimulationError(
+                    f"process yielded non-event {next_target!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc2
+                continue
+            if next_target.processed:
+                # already done: loop around synchronously
+                event = next_target
+                continue
+            if next_target.callbacks is None:
+                raise SimulationError("event processed but callbacks gone")
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            break
+        self.env._active_generator = None
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                # NB: a triggered-but-unprocessed event (e.g. a Timeout that
+                # has not fired yet) still counts as pending here; we wait
+                # for its callbacks to run at its scheduled time.
+                event.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed({})
+
+    def _matched(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._matched(self._count, len(self._events)):
+            # Only events that have actually *fired* contribute values; a
+            # Timeout scheduled for later is "triggered" but not processed.
+            self.succeed(
+                {
+                    ev: ev._value
+                    for ev in self._events
+                    if ev.processed and ev._ok
+                }
+            )
+
+
+class AllOf(Condition):
+    """Triggers when every child event has succeeded.  Value is a dict of
+    ``event -> value``."""
+
+    def _matched(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(Condition):
+    """Triggers when the first child event succeeds."""
+
+    def _matched(self, count: int, total: int) -> bool:
+        return count >= 1
+
+
+class Environment:
+    """The simulation world: a clock and an event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list = []
+        self._eid = 0
+        self._active_generator = None
+        #: events processed so far — the simulator's own cost metric
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start ``generator`` as a process; returns the process event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._eid, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("nothing scheduled")
+        self.events_processed += 1
+        self._now, _, _, event = heapq.heappop(self._heap)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody consumed: surface it loudly.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run up to
+        that time), or an :class:`Event` (run until it triggers, returning
+        its value).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before target triggered"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError("cannot run into the past")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

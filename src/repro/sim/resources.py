@@ -1,0 +1,284 @@
+"""Shared resources for the discrete-event engine.
+
+* :class:`Resource` — a counted resource (e.g. flash channels, CPU cores).
+  Requests are granted FIFO; a request event doubles as a context manager so
+  call sites read naturally::
+
+      with resource.request() as req:
+          yield req
+          ...  # holding the resource
+      # released on exit
+
+* :class:`PriorityResource` — same, but lower ``priority`` values are granted
+  first among waiters.
+* :class:`Store` — a FIFO buffer of items with blocking put/get, used for
+  queues between producer and consumer processes (e.g. NVMe SQ/CQ rings).
+* :class:`Container` — a continuous quantity (e.g. buffer bytes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A counted resource with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; yield the returned event to wait for the grant."""
+        req = Request(self)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Give back a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            # Releasing an ungranted request cancels it instead.
+            self._cancel(request)
+            return
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            if req.triggered:
+                continue
+            self._users.append(req)
+            req.succeed()
+
+
+class PriorityRequest(Request):
+    def __init__(self, resource: "PriorityResource", priority: float):
+        super().__init__(resource)
+        self.priority = priority
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are served lowest-``priority`` first,
+    breaking ties FIFO."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._pqueue: list = []
+        self._seq = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._pqueue)
+
+    def request(self, priority: float = 0.0) -> PriorityRequest:
+        req = PriorityRequest(self, priority)
+        self._seq += 1
+        heapq.heappush(self._pqueue, (priority, self._seq, req))
+        self._grant()
+        return req
+
+    def _cancel(self, request: Request) -> None:
+        self._pqueue = [
+            entry for entry in self._pqueue if entry[2] is not request
+        ]
+        heapq.heapify(self._pqueue)
+
+    def _grant(self) -> None:
+        while self._pqueue and len(self._users) < self.capacity:
+            _, _, req = heapq.heappop(self._pqueue)
+            if req.triggered:
+                continue
+            self._users.append(req)
+            req.succeed()
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store", predicate: Optional[Callable]):
+        super().__init__(store.env)
+        self.predicate = predicate
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``yield store.put(item)`` blocks while full; ``yield store.get()`` blocks
+    while empty and resumes with the item.  ``get(predicate)`` takes the
+    first item satisfying the predicate (FilterStore behaviour).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._settle()
+        return event
+
+    def get(self, predicate: Optional[Callable] = None) -> StoreGet:
+        event = StoreGet(self, predicate)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # admit pending puts while there is room
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # satisfy pending gets
+            remaining: Deque[StoreGet] = deque()
+            while self._getters:
+                get = self._getters.popleft()
+                index = self._match(get.predicate)
+                if index is None:
+                    remaining.append(get)
+                else:
+                    get.succeed(self.items.pop(index))
+                    progress = True
+            self._getters = remaining
+
+    def _match(self, predicate: Optional[Callable]) -> Optional[int]:
+        if predicate is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                return index
+        return None
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity with blocking put/get (e.g. free buffer bytes)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._putters: Deque[ContainerPut] = deque()
+        self._getters: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        if amount <= 0:
+            raise SimulationError("put amount must be positive")
+        event = ContainerPut(self, amount)
+        self._putters.append(event)
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> ContainerGet:
+        if amount <= 0:
+            raise SimulationError("get amount must be positive")
+        event = ContainerGet(self, amount)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                put = self._putters[0]
+                if self._level + put.amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += put.amount
+                    put.succeed()
+                    progress = True
+            if self._getters:
+                get = self._getters[0]
+                if get.amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= get.amount
+                    get.succeed()
+                    progress = True

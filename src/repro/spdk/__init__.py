@@ -1,0 +1,24 @@
+"""SPDK: user-space NVMe driver with reactor threads.
+
+Models the Storage Performance Development Kit the paper builds CAM's CPU
+side from: kernel-bypass queue pairs, one dedicated queue pair per NVMe
+device, lock-free submission, and polling reactors pinned to cores.
+
+Two roles in the reproduction:
+
+* the **SPDK baseline** of Figs. 8/10/11/14/15/16 — same control plane as
+  CAM but a *bounce-buffered* data path (SSD -> CPU DRAM -> cudaMemcpy ->
+  GPU);
+* the substrate CAM's own CPU managers reuse
+  (:mod:`repro.core.control`).
+"""
+
+from repro.spdk.driver import SpdkDriver, SpdkQueuePairHandle
+from repro.spdk.reactor import Reactor, ReactorPool
+
+__all__ = [
+    "Reactor",
+    "ReactorPool",
+    "SpdkDriver",
+    "SpdkQueuePairHandle",
+]

@@ -1,0 +1,6 @@
+"""Command-line utilities built on the library.
+
+* ``python -m repro.tools.capacity`` — what-if throughput calculator:
+  pick a control plane, granularity, SSD count and constraints, get the
+  sustainable rate and the binding stage.
+"""

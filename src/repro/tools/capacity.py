@@ -1,0 +1,80 @@
+"""Throughput what-if calculator.
+
+Examples::
+
+    python -m repro.tools.capacity --backend cam
+    python -m repro.tools.capacity --backend spdk --granularity 4096 \\
+        --dram-channels 2 --write
+    python -m repro.tools.capacity --backend bam --ssds 6 --explain
+
+Prints the sustainable rate of the chosen control plane on the Table III
+testbed (or a variant) and, with ``--explain``, every pipeline stage's
+individual limit so the bottleneck is obvious.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import PlatformConfig
+from repro.model.throughput import BACKENDS, ThroughputModel
+from repro.units import pretty_bytes, to_gb_per_s
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Steady-state throughput calculator for the CAM "
+        "reproduction's control planes."
+    )
+    parser.add_argument("--backend", choices=sorted(BACKENDS),
+                        default="cam")
+    parser.add_argument("--granularity", type=int, default=4096,
+                        help="request size in bytes (default 4096)")
+    parser.add_argument("--ssds", type=int, default=12)
+    parser.add_argument("--write", action="store_true",
+                        help="random write instead of random read")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="CPU threads / reactors (SMs for bam)")
+    parser.add_argument("--dram-channels", type=int, default=None)
+    parser.add_argument("--discontiguous", action="store_true",
+                        help="bounce path: one cudaMemcpy per request")
+    parser.add_argument("--explain", action="store_true",
+                        help="print every stage's individual limit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = PlatformConfig(num_ssds=args.ssds)
+    model = ThroughputModel(config)
+    kwargs = dict(
+        granularity=args.granularity,
+        is_write=args.write,
+        num_ssds=args.ssds,
+        cores=args.cores,
+        dram_channels=args.dram_channels,
+        contiguous_dest=not args.discontiguous,
+    )
+    rate = model.throughput(args.backend, **kwargs)
+    direction = "write" if args.write else "read"
+    print(
+        f"{args.backend}: random {direction} at "
+        f"{pretty_bytes(args.granularity)} on {args.ssds} SSDs -> "
+        f"{to_gb_per_s(rate):.2f} GB/s"
+    )
+    if args.explain:
+        explained = model.explain(args.backend, **kwargs)
+        bottleneck = explained.pop("bottleneck")
+        achieved = explained.pop("achieved")
+        print("\nstage limits:")
+        for stage, limit in sorted(explained.items(), key=lambda kv: kv[1]):
+            marker = "  <-- bottleneck" if stage == bottleneck else ""
+            print(f"  {stage:<20} {to_gb_per_s(limit):8.2f} GB/s{marker}")
+        print(f"\nachieved: {to_gb_per_s(achieved):.2f} GB/s "
+              f"(bound by {bottleneck})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Export experiment tables as CSV for external plotting.
+
+Examples::
+
+    python -m repro.tools.export --out results/            # all artifacts
+    python -m repro.tools.export --out results/ fig08 fig09
+    python -m repro.tools.export --out results/ --full --extras
+
+Each experiment becomes ``<out>/<exp_id>/<panel_index>_<slug>.csv`` plus a
+``notes.txt`` with the paper expectation and any caveats, so the figures
+can be re-plotted with any tool without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import re
+import sys
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, EXTRAS, run_experiment
+
+
+def _slug(title: str, max_length: int = 48) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:max_length] or "panel"
+
+
+def export_experiment(exp_id: str, out_dir: Path, quick: bool = True) -> int:
+    """Run one experiment and write its panels; returns files written."""
+    result = run_experiment(exp_id, quick=quick)
+    target = out_dir / exp_id
+    target.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for index, table in enumerate(result.tables):
+        path = target / f"{index:02d}_{_slug(table.title)}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.columns)
+            writer.writerows(table.rows)
+        written += 1
+    notes = [f"title: {result.title}"]
+    if result.paper_expectation:
+        notes.append(f"paper expects: {result.paper_expectation}")
+    notes.extend(f"note: {note}" for note in result.notes)
+    (target / "notes.txt").write_text("\n".join(notes) + "\n")
+    return written + 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Export experiment tables as CSV."
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all paper artifacts)")
+    parser.add_argument("--out", required=True, help="output directory")
+    parser.add_argument("--full", action="store_true",
+                        help="EXPERIMENTS.md scale instead of quick")
+    parser.add_argument("--extras", action="store_true",
+                        help="include the extra studies")
+    args = parser.parse_args(argv)
+
+    known = dict(EXPERIMENTS)
+    known.update(EXTRAS)
+    selected = args.experiments or sorted(EXPERIMENTS)
+    if args.extras and not args.experiments:
+        selected = sorted(EXPERIMENTS) + sorted(EXTRAS)
+    unknown = [e for e in selected if e not in known]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    out_dir = Path(args.out)
+    total = 0
+    for exp_id in selected:
+        files = export_experiment(exp_id, out_dir, quick=not args.full)
+        print(f"{exp_id}: {files} files")
+        total += files
+    print(f"wrote {total} files under {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

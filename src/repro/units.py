@@ -1,0 +1,71 @@
+"""Unit constants and helpers.
+
+The simulation's base time unit is the *second* (floats), and the base data
+unit is the *byte* (ints).  Every constant in the code base is expressed via
+these helpers so that a reader never has to guess whether ``15`` means
+microseconds or milliseconds.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -----------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+# --- time -----------------------------------------------------------------
+SEC = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a bandwidth given in GB/s (decimal) to bytes per second."""
+    return value * GB
+
+
+def mb_per_s(value: float) -> float:
+    """Convert a bandwidth given in MB/s (decimal) to bytes per second."""
+    return value * MB
+
+
+def to_gb_per_s(bytes_per_second: float) -> float:
+    """Convert bytes/second to GB/s (decimal) for reporting."""
+    return bytes_per_second / GB
+
+
+def to_miops(ops_per_second: float) -> float:
+    """Convert operations/second to millions of IOPS for reporting."""
+    return ops_per_second / 1e6
+
+
+def pretty_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``pretty_bytes(4096)``
+    returns ``'4.0KiB'``.
+    """
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def pretty_time(seconds: float) -> str:
+    """Render a duration with an appropriate suffix (s, ms, us, ns)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= MS:
+        return f"{seconds / MS:.3f}ms"
+    if seconds >= US:
+        return f"{seconds / US:.3f}us"
+    return f"{seconds / NS:.1f}ns"

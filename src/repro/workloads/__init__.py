@@ -1,0 +1,16 @@
+"""Application workloads: the paper's three evaluation applications.
+
+* :mod:`repro.workloads.gnn` — out-of-core GNN training (GCN / GAT /
+  GraphSAGE on Paper100M- and IGB-Full-shaped datasets), Figs. 1 and 9;
+* :mod:`repro.workloads.sort` — two-phase out-of-core mergesort built on
+  ModernGPU-style block sorting, Figs. 10a and 11;
+* :mod:`repro.workloads.gemm` — tiled out-of-core GEMM, Figs. 10b/10c;
+* :mod:`repro.workloads.vdisk` — the striped virtual disk the functional
+  workloads stage their data on;
+* :mod:`repro.workloads.microbench` — random-I/O sweeps behind the
+  throughput figures.
+"""
+
+from repro.workloads.vdisk import VirtualDisk
+
+__all__ = ["VirtualDisk"]

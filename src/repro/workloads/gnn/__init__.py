@@ -1,0 +1,44 @@
+"""Out-of-core GNN training (paper Sections II, IV-C; Figs. 1, 9).
+
+The paper's headline application: node-classification training where the
+graph structure lives in CPU memory but node features live on the SSD
+array.  Per mini-batch:
+
+1. **sample** — 2-hop random neighbor sampling (fan-outs 25, 10);
+2. **extract** — gather the sampled nodes' feature vectors from the SSDs
+   (page-grained reads);
+3. **train** — forward + backward through the GNN model.
+
+GIDS (the BaM-based baseline) runs the three phases serially, with the
+extraction occupying the GPU's SMs; CAM overlaps extraction with
+sampling + training.
+"""
+
+from repro.workloads.gnn.datasets import (
+    DATASETS,
+    DatasetSpec,
+    igb_full,
+    paper100m,
+)
+from repro.workloads.gnn.graph import CSRGraph, random_power_law_graph
+from repro.workloads.gnn.models import MODELS, GNNModelSpec, gat, gcn, graphsage
+from repro.workloads.gnn.sampling import BatchStats, NeighborSampler
+from repro.workloads.gnn.training import EpochTimes, run_gnn_epoch
+
+__all__ = [
+    "BatchStats",
+    "CSRGraph",
+    "DATASETS",
+    "DatasetSpec",
+    "EpochTimes",
+    "GNNModelSpec",
+    "MODELS",
+    "NeighborSampler",
+    "gat",
+    "gcn",
+    "graphsage",
+    "igb_full",
+    "paper100m",
+    "random_power_law_graph",
+    "run_gnn_epoch",
+]

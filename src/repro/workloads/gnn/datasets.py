@@ -1,0 +1,104 @@
+"""Dataset specifications (paper Table IV) and their scaled variants.
+
+=================  ============  =============  ===========  ==========
+dataset            nodes         edges          feature dim  features
+=================  ============  =============  ===========  ==========
+Paper100M          111,059,956   1,615,685,872  128          56 GB
+IGB-Full           269,364,174   3,995,777,033  1024         1.1 TB
+=================  ============  =============  ===========  ==========
+
+``scale(factor)`` shrinks node/edge counts while keeping the average
+degree and the feature dimension — the quantities that set per-batch I/O
+volume and compute — so laptop-scale runs preserve the paper's ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.workloads.gnn.graph import CSRGraph, random_power_law_graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape of one GNN dataset."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    feature_dim: int
+    #: fraction of nodes in the training split (OGB papers100M ~1.1%)
+    train_fraction: float = 0.01
+
+    def __post_init__(self):
+        if self.num_nodes < 2 or self.num_edges < 1:
+            raise ConfigurationError("dataset too small")
+        if self.feature_dim < 1:
+            raise ConfigurationError("feature_dim must be >= 1")
+        if not 0 < self.train_fraction <= 1:
+            raise ConfigurationError("train_fraction outside (0, 1]")
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / self.num_nodes
+
+    @property
+    def feature_bytes(self) -> int:
+        """Bytes per node feature vector (float32)."""
+        return self.feature_dim * 4
+
+    @property
+    def feature_volume_bytes(self) -> int:
+        """Total feature table size (the paper's 56 GB / 1.1 TB column)."""
+        return self.num_nodes * self.feature_bytes
+
+    @property
+    def train_nodes(self) -> int:
+        return max(1, int(self.num_nodes * self.train_fraction))
+
+    def scale(self, factor: float) -> "DatasetSpec":
+        """Shrink nodes/edges by ``factor``, keeping degree + features."""
+        if factor <= 0 or factor > 1:
+            raise ConfigurationError("scale factor must be in (0, 1]")
+        nodes = max(1000, int(self.num_nodes * factor))
+        edges = max(nodes, int(nodes * self.avg_degree))
+        return replace(
+            self,
+            name=f"{self.name}@{factor:g}",
+            num_nodes=nodes,
+            num_edges=edges,
+        )
+
+    def build_graph(self, seed: int = 0) -> CSRGraph:
+        """Generate the synthetic structure for this spec."""
+        return random_power_law_graph(
+            self.num_nodes, self.avg_degree, seed=seed
+        )
+
+
+def paper100m() -> DatasetSpec:
+    """OGBN-papers100M (paper Table IV)."""
+    return DatasetSpec(
+        name="Paper100M",
+        num_nodes=111_059_956,
+        num_edges=1_615_685_872,
+        feature_dim=128,
+    )
+
+
+def igb_full() -> DatasetSpec:
+    """IGB-Full (paper Table IV)."""
+    return DatasetSpec(
+        name="IGB-Full",
+        num_nodes=269_364_174,
+        num_edges=3_995_777_033,
+        feature_dim=1024,
+    )
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "paper100m": paper100m(),
+    "igb-full": igb_full(),
+}

@@ -1,0 +1,126 @@
+"""GNN model cost models: GCN, GAT, GraphSAGE (paper Table V setup).
+
+Per-batch training time = (forward + backward) FLOPs divided by the
+achievable GPU rate.  FLOPs follow the standard per-layer decomposition:
+
+* aggregation  ~ ``2 x edges x dim`` (sparse gather-scatter);
+* transform    ~ ``2 x nodes x d_in x d_out`` (dense GEMM);
+* GAT adds per-edge attention scoring/softmax ~ ``10 x edges x dim``.
+
+``sm_efficiency`` captures how far real sparse GNN kernels sit below
+peak FP32 (launch overhead, irregular access, optimizer step); the values
+are calibrated so GIDS's Fig. 1 time breakdown lands in the paper's
+ranges — GAT the most compute-intensive, GCN the least.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from repro.config import GPUConfig
+from repro.errors import ConfigurationError
+
+#: forward + backward multiplier (backward ~ 2x forward)
+_TRAIN_MULTIPLIER = 3.0
+
+
+@dataclass(frozen=True)
+class GNNModelSpec:
+    """One GNN architecture's cost model."""
+
+    name: str
+    hidden_dim: int = 128
+    #: attention FLOPs per edge per feature dim (0 for non-attention models)
+    attention_cost: float = 0.0
+    #: transform multiplier (GraphSAGE concatenates self || neighbor => 2x)
+    transform_multiplier: float = 1.0
+    #: fraction of FP32 peak the training kernels sustain
+    sm_efficiency: float = 0.05
+
+    def flops(
+        self,
+        layer_nodes: Sequence[int],
+        layer_edges: Sequence[int],
+        in_dim: int,
+    ) -> float:
+        """Forward-pass FLOPs for one sampled batch.
+
+        ``layer_nodes[i]`` / ``layer_edges[i]`` are the frontier/edge
+        counts of hop ``i`` (outermost hop last, as the sampler returns).
+        """
+        if len(layer_nodes) != len(layer_edges):
+            raise ConfigurationError("layer_nodes/layer_edges mismatch")
+        total = 0.0
+        dim_in = in_dim
+        for nodes, edges in zip(reversed(layer_nodes),
+                                reversed(layer_edges)):
+            dim_out = self.hidden_dim
+            total += 2.0 * edges * dim_in  # aggregation
+            total += (
+                2.0 * self.transform_multiplier * nodes * dim_in * dim_out
+            )
+            total += self.attention_cost * edges * dim_out
+            dim_in = dim_out
+        return total
+
+    def train_time(
+        self,
+        gpu: GPUConfig,
+        layer_nodes: Sequence[int],
+        layer_edges: Sequence[int],
+        in_dim: int,
+        sms_fraction: float = 1.0,
+    ) -> float:
+        """Seconds of GPU time for one batch (forward + backward)."""
+        if not 0 < sms_fraction <= 1:
+            raise ConfigurationError("sms_fraction outside (0, 1]")
+        flops = self.flops(layer_nodes, layer_edges, in_dim)
+        # wider inputs mean fatter, better-utilized GEMMs: efficiency
+        # grows sublinearly with the input width (a 1024-dim IGB layer
+        # runs closer to peak than a 128-dim Paper100M layer)
+        width_scale = min(4.0, max(1.0, (in_dim / 128.0) ** 0.65))
+        rate = (
+            gpu.fp32_flops * self.sm_efficiency * width_scale * sms_fraction
+        )
+        return (
+            _TRAIN_MULTIPLIER * flops / rate
+            + 12 * gpu.kernel_launch_overhead
+        )
+
+
+def gcn(hidden_dim: int = 128) -> GNNModelSpec:
+    """Graph Convolutional Network [Kipf & Welling] — lightest compute."""
+    return GNNModelSpec(
+        name="GCN", hidden_dim=hidden_dim, sm_efficiency=0.30
+    )
+
+
+def graphsage(hidden_dim: int = 128) -> GNNModelSpec:
+    """GraphSAGE [Hamilton et al.] — concat doubles the transform."""
+    return GNNModelSpec(
+        name="GRAPHSAGE",
+        hidden_dim=hidden_dim,
+        transform_multiplier=2.0,
+        sm_efficiency=0.28,
+    )
+
+
+def gat(hidden_dim: int = 128) -> GNNModelSpec:
+    """Graph Attention Network [Velickovic et al.] — the most intensive
+    computations of the three (paper Section IV-C); per-edge attention
+    kernels run far from peak, hence the low efficiency."""
+    return GNNModelSpec(
+        name="GAT",
+        hidden_dim=hidden_dim,
+        attention_cost=10.0,
+        transform_multiplier=2.0,
+        sm_efficiency=0.11,
+    )
+
+
+MODELS: Dict[str, Callable[[], GNNModelSpec]] = {
+    "gcn": gcn,
+    "gat": gat,
+    "graphsage": graphsage,
+}

@@ -1,0 +1,158 @@
+"""Paper-scale GNN epoch estimation.
+
+The Table IV datasets (111 M / 269 M nodes) cannot be materialized on a
+laptop, but an epoch estimate at that scale only needs per-batch
+*shape statistics* — unique nodes fetched and edges sampled per seed —
+which are measured on a probe-scaled graph and carried over (power-law
+sampling shapes are stable across scale for fixed fan-outs; the probe at
+two different scales is itself a test).
+
+``estimate_epoch`` then prices a full epoch with the same cost models the
+simulated training loop uses:
+
+* extract: unique pages x page bytes at the control plane's sustained
+  rate (analytic model);
+* sample / train: the measured per-batch costs;
+* GIDS: serial sum; CAM: ``max(extract, sample+train)`` per batch plus
+  one pipeline fill.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.model.throughput import ThroughputModel
+from repro.units import KiB
+from repro.workloads.gnn.datasets import DatasetSpec
+from repro.workloads.gnn.models import GNNModelSpec
+from repro.workloads.gnn.sampling import NeighborSampler
+from repro.workloads.gnn.training import SAMPLE_COST_PER_EDGE
+
+
+@dataclass
+class BatchShape:
+    """Per-seed sampling statistics measured on a probe graph."""
+
+    unique_per_seed: float
+    edges_per_seed: float
+    layer_nodes_per_seed: Sequence[float]
+    layer_edges_per_seed: Sequence[float]
+
+
+@dataclass
+class PaperScaleEstimate:
+    """Epoch-time estimate at full Table IV scale."""
+
+    dataset: str
+    model: str
+    system: str
+    batches: int
+    extract_seconds: float
+    sample_seconds: float
+    train_seconds: float
+    epoch_seconds: float
+    bytes_per_epoch: float
+
+    @property
+    def extract_fraction(self) -> float:
+        total = (
+            self.extract_seconds + self.sample_seconds + self.train_seconds
+        )
+        return self.extract_seconds / total if total else 0.0
+
+
+def measure_batch_shape(
+    dataset: DatasetSpec,
+    probe_scale: float = 0.01,
+    batch_size: int = 80,
+    fanouts: Sequence[int] = (25, 10),
+    num_batches: int = 6,
+    seed: int = 3,
+) -> BatchShape:
+    """Sample a probe-scaled graph and return per-seed shape statistics."""
+    if not 0 < probe_scale <= 1:
+        raise ConfigurationError("probe_scale must be in (0, 1]")
+    probe = dataset.scale(probe_scale)
+    graph = probe.build_graph(seed=seed)
+    sampler = NeighborSampler(graph, fanouts, seed=seed)
+    rng = np.random.default_rng(seed)
+    uniques, edges = [], []
+    layer_nodes = np.zeros(len(fanouts))
+    layer_edges = np.zeros(len(fanouts))
+    for _ in range(num_batches):
+        seeds = rng.choice(probe.num_nodes, size=batch_size, replace=False)
+        stats = sampler.sample(seeds)
+        uniques.append(stats.num_unique / batch_size)
+        edges.append(stats.total_edges / batch_size)
+        layer_nodes += np.array(stats.layer_nodes) / batch_size
+        layer_edges += np.array(stats.layer_edges) / batch_size
+    return BatchShape(
+        unique_per_seed=float(np.mean(uniques)),
+        edges_per_seed=float(np.mean(edges)),
+        layer_nodes_per_seed=(layer_nodes / num_batches).tolist(),
+        layer_edges_per_seed=(layer_edges / num_batches).tolist(),
+    )
+
+
+def estimate_epoch(
+    dataset: DatasetSpec,
+    model: GNNModelSpec,
+    system: str = "cam",
+    batch_size: int = 8000,
+    fanouts: Sequence[int] = (25, 10),
+    platform_config: Optional[PlatformConfig] = None,
+    shape: Optional[BatchShape] = None,
+    probe_scale: float = 0.01,
+    seed: int = 3,
+) -> PaperScaleEstimate:
+    """Price one full-scale training epoch for ``system``."""
+    if system not in ("cam", "gids"):
+        raise ConfigurationError("system must be 'cam' or 'gids'")
+    config = platform_config or PlatformConfig()
+    shape = shape or measure_batch_shape(
+        dataset, probe_scale=probe_scale, fanouts=fanouts, seed=seed
+    )
+    throughput = ThroughputModel(config)
+    granularity = max(4 * KiB, dataset.feature_bytes)
+    backend = "cam" if system == "cam" else "bam"
+
+    batches = math.ceil(dataset.train_nodes / batch_size)
+    unique_nodes = shape.unique_per_seed * batch_size
+    extract_bytes = unique_nodes * granularity
+    extract_rate = throughput.throughput(backend, granularity, False)
+    extract_per_batch = extract_bytes / extract_rate
+    sample_per_batch = (
+        shape.edges_per_seed * batch_size * SAMPLE_COST_PER_EDGE
+    )
+    train_per_batch = model.train_time(
+        config.gpu,
+        [n * batch_size for n in shape.layer_nodes_per_seed],
+        [e * batch_size for e in shape.layer_edges_per_seed],
+        dataset.feature_dim,
+    )
+
+    if system == "gids":
+        epoch = batches * (
+            sample_per_batch + extract_per_batch + train_per_batch
+        )
+    else:
+        steady = max(extract_per_batch, sample_per_batch + train_per_batch)
+        epoch = batches * steady + extract_per_batch  # pipeline fill
+
+    return PaperScaleEstimate(
+        dataset=dataset.name,
+        model=model.name,
+        system=system,
+        batches=batches,
+        extract_seconds=batches * extract_per_batch,
+        sample_seconds=batches * sample_per_batch,
+        train_seconds=batches * train_per_batch,
+        epoch_seconds=epoch,
+        bytes_per_epoch=batches * extract_bytes,
+    )

@@ -1,0 +1,102 @@
+"""K-hop random neighbor sampling (paper Table V: 2 hops, fan-outs 25, 10).
+
+Sampling runs for real over the CSR structure — the resulting *unique
+node count* per batch is the quantity that sets feature-extraction I/O
+volume, and it depends on graph shape (hub-heavy graphs dedup more), so
+it must be measured, not guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.gnn.graph import CSRGraph
+
+
+@dataclass
+class BatchStats:
+    """Everything downstream stages need to know about one sampled batch."""
+
+    seed_nodes: np.ndarray
+    #: frontier size after each hop (excluding seeds)
+    layer_nodes: List[int] = field(default_factory=list)
+    #: edges sampled at each hop
+    layer_edges: List[int] = field(default_factory=list)
+    #: all distinct nodes touched (seeds + all hops) — the feature fetch set
+    unique_nodes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    @property
+    def num_unique(self) -> int:
+        return len(self.unique_nodes)
+
+    @property
+    def total_edges(self) -> int:
+        return int(sum(self.layer_edges))
+
+
+class NeighborSampler:
+    """Uniform random neighbor sampling with per-hop fan-outs."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        fanouts: Sequence[int] = (25, 10),
+        seed: int = 0,
+    ):
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise ConfigurationError("fanouts must be positive")
+        self.graph = graph
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.rng = np.random.default_rng(seed)
+
+    def _sample_hop(self, frontier: np.ndarray, fanout: int) -> np.ndarray:
+        """Sample up to ``fanout`` neighbors of every frontier node."""
+        graph = self.graph
+        starts = graph.indptr[frontier]
+        degrees = graph.indptr[frontier + 1] - starts
+        live = degrees > 0
+        if not live.any():
+            return np.empty(0, dtype=np.int64)
+        starts = starts[live]
+        degrees = degrees[live]
+        # with-replacement uniform choice: fanout draws per live node
+        draws = self.rng.random((len(starts), fanout))
+        offsets = (draws * degrees[:, None]).astype(np.int64)
+        return graph.indices[(starts[:, None] + offsets).ravel()]
+
+    def sample(self, seed_nodes: np.ndarray) -> BatchStats:
+        """Sample the k-hop neighborhood of ``seed_nodes``."""
+        seed_nodes = np.asarray(seed_nodes, dtype=np.int64)
+        if seed_nodes.ndim != 1 or len(seed_nodes) == 0:
+            raise ConfigurationError("seed_nodes must be non-empty 1-D")
+        if seed_nodes.min() < 0 or seed_nodes.max() >= self.graph.num_nodes:
+            raise ConfigurationError("seed node out of range")
+        stats = BatchStats(seed_nodes=seed_nodes)
+        touched = [seed_nodes]
+        frontier = seed_nodes
+        for fanout in self.fanouts:
+            neighbors = self._sample_hop(frontier, fanout)
+            stats.layer_edges.append(len(neighbors))
+            frontier = np.unique(neighbors)
+            stats.layer_nodes.append(len(frontier))
+            touched.append(frontier)
+        stats.unique_nodes = np.unique(np.concatenate(touched))
+        return stats
+
+    def epoch_batches(
+        self, train_nodes: np.ndarray, batch_size: int
+    ):
+        """Yield shuffled seed batches covering the training split."""
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        order = self.rng.permutation(train_nodes)
+        for start in range(0, len(order), batch_size):
+            batch = order[start : start + batch_size]
+            if len(batch):
+                yield batch

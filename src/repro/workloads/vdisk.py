@@ -1,0 +1,79 @@
+"""A striped virtual disk over the platform's SSDs.
+
+Functional workloads need to *stage* input data onto the SSDs (outside
+simulated time — the paper's setups also pre-load the datasets) and to
+*verify* results afterwards.  :class:`VirtualDisk` provides byte-
+addressed direct access that follows exactly the same RAID0 mapping the
+timed I/O paths use, so bytes staged here are what a timed read returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InvalidLBAError
+from repro.hw.platform import Platform
+
+
+class VirtualDisk:
+    """Byte-addressed functional access to the striped SSD array."""
+
+    def __init__(self, platform: Platform):
+        if any(ssd.store is None for ssd in platform.ssds):
+            raise ConfigurationError(
+                "VirtualDisk needs a functional platform "
+                "(Platform(..., functional=True))"
+            )
+        self.platform = platform
+        self.block_size = platform.config.ssd.block_size
+
+    @property
+    def stripe_bytes(self) -> int:
+        return self.platform.stripe_blocks * self.block_size
+
+    def _runs(self, offset: int, nbytes: int):
+        """Split [offset, offset+nbytes) into per-SSD contiguous runs."""
+        if offset < 0 or nbytes < 0:
+            raise InvalidLBAError("negative offset or size")
+        if offset % self.block_size:
+            raise InvalidLBAError(
+                f"offset {offset} not {self.block_size}-byte aligned"
+            )
+        position = offset
+        end = offset + nbytes
+        while position < end:
+            stripe = self.stripe_bytes
+            within = position % stripe
+            take = min(stripe - within, end - position)
+            ssd, local_lba = self.platform.ssd_for_lba(
+                position // self.block_size
+            )
+            yield ssd, local_lba * self.block_size, position - offset, take
+            position += take
+
+    def write_direct(self, offset: int, data: np.ndarray) -> None:
+        """Stage ``data`` at byte ``offset`` (no simulated time)."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        for ssd, dev_offset, src_offset, take in self._runs(
+            offset, raw.nbytes
+        ):
+            ssd.store.write(dev_offset, raw[src_offset : src_offset + take])
+
+    def read_direct(self, offset: int, nbytes: int) -> np.ndarray:
+        """Fetch raw bytes at ``offset`` (no simulated time)."""
+        out = np.zeros(nbytes, dtype=np.uint8)
+        for ssd, dev_offset, dst_offset, take in self._runs(offset, nbytes):
+            out[dst_offset : dst_offset + take] = ssd.store.read(
+                dev_offset, take
+            )
+        return out
+
+    def write_array(self, offset: int, array: np.ndarray) -> None:
+        """Alias of :meth:`write_direct` for typed arrays."""
+        self.write_direct(offset, array)
+
+    def read_array(self, offset: int, count: int, dtype) -> np.ndarray:
+        """Typed read of ``count`` items at byte ``offset``."""
+        dtype = np.dtype(dtype)
+        raw = self.read_direct(offset, count * dtype.itemsize)
+        return raw.view(dtype)

@@ -1,0 +1,99 @@
+"""Tests for the ANNS workload (paper Section II motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import make_backend
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.workloads.anns import IVFFlatIndex, anns_with_backend
+
+
+def _index(num_ssds=4, dim=64, clusters=16):
+    platform = Platform(PlatformConfig(num_ssds=num_ssds))
+    backend = make_backend("cam", platform)
+    return IVFFlatIndex(platform, backend, dim=dim, num_clusters=clusters)
+
+
+def test_build_assigns_every_vector_to_a_page():
+    index = _index()
+    rng = np.random.default_rng(1)
+    vectors = rng.standard_normal((512, 64)).astype(np.float32)
+    index.build(vectors)
+    stored = sum(
+        len(chunk)
+        for chunks in index._cluster_ids.values()
+        for chunk in chunks
+    )
+    assert stored == 512
+
+
+def test_search_requires_build():
+    index = _index()
+    with pytest.raises(ConfigurationError):
+        index.search(np.zeros((1, 64), dtype=np.float32))
+
+
+def test_dim_validation():
+    platform = Platform(PlatformConfig(num_ssds=2))
+    backend = make_backend("cam", platform)
+    with pytest.raises(ConfigurationError):
+        IVFFlatIndex(platform, backend, dim=1)
+    with pytest.raises(ConfigurationError):
+        IVFFlatIndex(platform, backend, dim=64, num_clusters=1)
+    with pytest.raises(ConfigurationError):
+        IVFFlatIndex(platform, backend, dim=4096)  # > one page
+
+
+def test_build_shape_validation():
+    index = _index()
+    with pytest.raises(ConfigurationError):
+        index.build(np.zeros((10, 32), dtype=np.float32))  # wrong dim
+
+
+def test_recall_is_high_for_in_dataset_queries():
+    outcome = anns_with_backend(
+        "cam", num_vectors=1024, dim=64, num_clusters=16,
+        num_queries=16, nprobe=4, num_ssds=4,
+    )
+    assert outcome.recall_at_1 >= 0.9
+
+
+def test_recall_improves_with_nprobe():
+    platform = Platform(PlatformConfig(num_ssds=4))
+    backend = make_backend("cam", platform)
+    index = IVFFlatIndex(platform, backend, dim=64, num_clusters=32,
+                         seed=5)
+    rng = np.random.default_rng(5)
+    vectors = rng.standard_normal((2048, 64)).astype(np.float32)
+    index.build(vectors)
+    queries = rng.standard_normal((12, 64)).astype(np.float32)
+    low = index.search(queries, nprobe=1)
+    high = index.search(queries, nprobe=16)
+    assert high.recall_at_1 >= low.recall_at_1
+    assert high.pages_fetched > low.pages_fetched
+
+
+def test_bounce_path_memcpy_dominates_like_paper():
+    """Section II: ~78% of ANNS time in cudaMemcpyAsync on the bounce
+    path; zero on CAM's direct path."""
+    bounce = anns_with_backend(
+        "spdk", num_vectors=2048, num_clusters=32, num_queries=8,
+    )
+    direct = anns_with_backend(
+        "cam", num_vectors=2048, num_clusters=32, num_queries=8,
+    )
+    assert 0.6 < bounce.memcpy_fraction < 0.95
+    assert direct.memcpy_fraction == 0.0
+    assert direct.total_time < bounce.total_time
+
+
+def test_timing_components_consistent():
+    outcome = anns_with_backend(
+        "cam", num_vectors=1024, dim=64, num_clusters=16, num_queries=4,
+        num_ssds=4,
+    )
+    assert outcome.io_time > 0
+    assert outcome.compute_time > 0
+    assert outcome.total_time >= outcome.io_time

@@ -1,0 +1,130 @@
+"""Tests for the backend facade and DES-vs-model cross validation."""
+
+import pytest
+
+from repro.backends import make_backend, measure_throughput
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.model.throughput import BACKENDS, ThroughputModel
+from repro.units import KiB
+
+
+def _platform(num_ssds=2):
+    return Platform(PlatformConfig(num_ssds=num_ssds), functional=False)
+
+
+def test_make_backend_covers_every_model_name():
+    platform = _platform()
+    for name in BACKENDS:
+        backend = make_backend(name, platform)
+        assert backend.name == name
+
+
+def test_make_backend_unknown_rejected():
+    with pytest.raises(ConfigurationError):
+        make_backend("zfs", _platform())
+
+
+def test_every_backend_completes_an_io():
+    for name in BACKENDS:
+        platform = _platform()
+        backend = make_backend(name, platform)
+
+        def proc(b=backend):
+            cqe = yield from b.io(0, 4096)
+            return cqe
+
+        cqe = platform.env.run(platform.env.process(proc()))
+        assert cqe is not None and cqe.ok, name
+
+
+def test_bulk_io_advances_clock_by_model_time():
+    platform = _platform(12)
+    backend = make_backend("cam", platform)
+    expected = backend.bulk_time(64 << 20, granularity=128 * KiB)
+
+    def proc():
+        yield from backend.bulk_io(64 << 20, granularity=128 * KiB)
+        return platform.env.now
+
+    assert platform.env.run(platform.env.process(proc())) == pytest.approx(
+        expected
+    )
+
+
+def test_measure_throughput_validates_args():
+    platform = _platform()
+    backend = make_backend("cam", platform)
+    with pytest.raises(ConfigurationError):
+        measure_throughput(backend, total_requests=0)
+    with pytest.raises(ConfigurationError):
+        measure_throughput(backend, concurrency=0)
+
+
+@pytest.mark.parametrize(
+    "name,num_ssds,concurrency,tolerance",
+    [
+        ("cam", 12, 512, 0.25),
+        ("spdk", 12, 512, 0.25),
+        ("bam", 12, 512, 0.25),
+        ("libaio", 1, 128, 0.10),
+        ("io_uring poll", 1, 128, 0.10),
+        ("gds", 12, 8, 0.15),
+    ],
+)
+def test_des_agrees_with_model(name, num_ssds, concurrency, tolerance):
+    """The per-request simulation lands near the closed-form rate.
+
+    Contended multi-SSD planes sit below the analytic upper bound
+    because the DES includes queueing and load imbalance; the tolerance
+    is one-sided accordingly.
+    """
+    platform = Platform(PlatformConfig(num_ssds=num_ssds), functional=False)
+    kwargs = {"num_cores": num_ssds} if name == "cam" else {}
+    backend = make_backend(name, platform, **kwargs)
+    granularity = 128 * KiB if name == "gds" else 4 * KiB
+    measured = measure_throughput(
+        backend,
+        granularity=granularity,
+        total_requests=900 if num_ssds > 1 else 500,
+        concurrency=concurrency,
+    )
+    predicted = ThroughputModel(platform.config).throughput(
+        name,
+        granularity,
+        False,
+        cores=num_ssds if name == "cam" else None,
+        to_gpu=(name == "spdk"),
+    )
+    assert measured <= predicted * 1.05, name
+    assert measured >= predicted * (1 - tolerance), name
+
+
+def test_spdk_backend_bounce_touches_dram_cam_does_not():
+    for name, expects_dram in (("spdk", True), ("cam", False)):
+        platform = _platform(2)
+        backend = make_backend(name, platform)
+        measure_throughput(backend, 4096, total_requests=50, concurrency=8)
+        moved = platform.dram.link.bytes_moved.total
+        assert (moved > 0) == expects_dram, name
+
+
+def test_kernel_backend_to_gpu_adds_copy_hop():
+    platform = _platform(1)
+    plain = make_backend("posix", platform)
+    measure_throughput(plain, 4096, total_requests=40, concurrency=4)
+    assert platform.gpu.memcpy_calls.total == 0
+
+    platform2 = _platform(1)
+    gpu_bound = make_backend("posix", platform2, to_gpu=True)
+    measure_throughput(gpu_bound, 4096, total_requests=40, concurrency=4)
+    assert platform2.gpu.memcpy_calls.total == 40
+
+
+def test_cam_backend_exposes_context():
+    platform = _platform(2)
+    backend = make_backend("cam", platform)
+    assert backend.context.manager is backend.manager
+    buffer = backend.context.alloc(4096)
+    assert buffer.pinned

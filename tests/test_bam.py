@@ -1,0 +1,152 @@
+"""Tests for the BaM substrate: SM occupancy, sync API, arrays."""
+
+import numpy as np
+import pytest
+
+from repro.bam import BamArray, BamSystem
+from repro.config import PlatformConfig
+from repro.errors import APIUsageError, ConfigurationError
+from repro.hw.platform import Platform
+from repro.workloads.vdisk import VirtualDisk
+
+
+def _platform(num_ssds=2, functional=False):
+    return Platform(PlatformConfig(num_ssds=num_ssds), functional=functional)
+
+
+def test_sms_to_saturate_monotone():
+    platform = _platform(12)
+    system = BamSystem(platform)
+    values = [system.sms_to_saturate(n) for n in range(1, 13)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert values[-1] == 108  # 12 SSDs take the whole GPU
+
+
+def test_fig4_most_sms_past_five_ssds():
+    platform = _platform(12)
+    system = BamSystem(platform)
+    assert system.sm_utilization_to_saturate(5) > 0.6
+    assert system.sm_utilization_to_saturate(8) == pytest.approx(1.0)
+
+
+def test_writes_need_fewer_sms_than_reads():
+    platform = _platform(12)
+    system = BamSystem(platform)
+    assert system.sms_to_saturate(12, is_write=True) < (
+        system.sms_to_saturate(12, is_write=False)
+    )
+
+
+def test_engine_reserves_and_releases_sms():
+    platform = _platform(12)
+    system = BamSystem(platform)
+    env = platform.env
+
+    def proc():
+        yield from system.start_io_engine()
+        assert platform.gpu.sms_available == 108 - system.io_sms
+        system.stop_io_engine()
+        assert platform.gpu.sms_available == 108
+
+    env.run(env.process(proc()))
+
+
+def test_engine_double_start_rejected():
+    platform = _platform(2)
+    system = BamSystem(platform)
+    env = platform.env
+
+    def proc():
+        yield from system.start_io_engine()
+        with pytest.raises(APIUsageError):
+            yield from system.start_io_engine()
+        system.stop_io_engine()
+
+    env.run(env.process(proc()))
+    with pytest.raises(APIUsageError):
+        system.stop_io_engine()
+
+
+def test_invalid_io_sms_rejected():
+    platform = _platform(2)
+    with pytest.raises(ConfigurationError):
+        BamSystem(platform, io_sms=0)
+    with pytest.raises(ConfigurationError):
+        BamSystem(platform, io_sms=500)
+
+
+def test_sync_io_roundtrip():
+    platform = _platform(2)
+    system = BamSystem(platform)
+
+    def proc():
+        cqe = yield from system.io(0, 4096)
+        return cqe
+
+    cqe = platform.env.run(platform.env.process(proc()))
+    assert cqe.ok
+    assert system.requests_done.total == 1
+
+
+def test_control_rate_scales_with_sms():
+    platform = _platform(12)
+    small = BamSystem(platform, io_sms=10)
+    big = BamSystem(platform, io_sms=100)
+    assert big.control_rate() == pytest.approx(10 * small.control_rate())
+
+
+# --- bam::array -------------------------------------------------------------
+
+def test_array_range_validation():
+    platform = _platform(2)
+    system = BamSystem(platform)
+    array = BamArray(system, np.int32, length=1000)
+    with pytest.raises(APIUsageError):
+        array._range_to_lba(990, 20)
+    with pytest.raises(APIUsageError):
+        array._range_to_lba(-1, 10)
+    with pytest.raises(APIUsageError):
+        BamArray(system, np.int32, length=0)
+
+
+def test_array_functional_roundtrip():
+    platform = _platform(2, functional=True)
+    system = BamSystem(platform)
+    array = BamArray(system, np.int32, length=4096)
+    values = np.arange(1024, dtype=np.int32)  # exactly 8 blocks
+
+    def proc():
+        yield from array.write(0, values)
+        got = yield from array.read(0, 1024)
+        return got
+
+    got = platform.env.run(platform.env.process(proc()))
+    assert np.array_equal(got, values)
+
+
+def test_array_read_sub_block_range():
+    platform = _platform(2, functional=True)
+    system = BamSystem(platform)
+    vdisk = VirtualDisk(platform)
+    values = np.arange(2048, dtype=np.int32)
+    vdisk.write_array(0, values)
+    array = BamArray(system, np.int32, length=2048)
+
+    def proc():
+        got = yield from array.read(100, 28)  # unaligned element range
+        return got
+
+    got = platform.env.run(platform.env.process(proc()))
+    assert np.array_equal(got, values[100:128])
+
+
+def test_array_unaligned_write_rejected():
+    platform = _platform(2, functional=True)
+    system = BamSystem(platform)
+    array = BamArray(system, np.int32, length=4096)
+
+    def proc():
+        yield from array.write(1, np.arange(128, dtype=np.int32))
+
+    with pytest.raises(APIUsageError, match="unaligned"):
+        platform.env.run(platform.env.process(proc()))

@@ -1,0 +1,176 @@
+"""Tests for the host-cache wrapper and io_uring fixed buffers."""
+
+import numpy as np
+import pytest
+
+from repro.backends import make_backend
+from repro.backends.cache import CachedBackend
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.oskernel.stacks import IoUringStack
+from repro.units import KiB
+from repro.workloads.trace import TraceReplayer, make_zipfian_trace
+
+
+def _cached(num_ssds=2, capacity=256 * KiB, inner="spdk"):
+    platform = Platform(PlatformConfig(num_ssds=num_ssds),
+                        functional=False)
+    backend = make_backend(inner, platform, to_gpu=False)
+    return platform, CachedBackend(backend, capacity, to_gpu=False)
+
+
+def _run(platform, generator):
+    return platform.env.run(platform.env.process(generator))
+
+
+# --- cache ------------------------------------------------------------------
+
+def test_cache_miss_then_hit():
+    platform, cache = _cached()
+
+    def proc():
+        yield from cache.io(0, 4096)
+        yield from cache.io(0, 4096)
+
+    _run(platform, proc())
+    assert cache.misses.total == 1
+    assert cache.hits.total == 1
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_cache_hit_is_much_faster_than_miss():
+    platform, cache = _cached()
+    env = platform.env
+
+    def proc():
+        start = env.now
+        yield from cache.io(0, 4096)
+        miss_time = env.now - start
+        start = env.now
+        yield from cache.io(0, 4096)
+        hit_time = env.now - start
+        return miss_time, hit_time
+
+    miss_time, hit_time = _run(platform, proc())
+    assert hit_time < miss_time / 20  # DRAM vs SSD round trip
+
+
+def test_cache_lru_eviction():
+    platform, cache = _cached(capacity=2 * 4096)  # two pages
+
+    def proc():
+        yield from cache.io(0, 4096)   # page 0
+        yield from cache.io(8, 4096)   # page 1
+        yield from cache.io(16, 4096)  # page 2 -> evicts page 0
+        yield from cache.io(0, 4096)   # page 0 again: miss
+
+    _run(platform, proc())
+    assert cache.evictions.total == 2
+    assert cache.misses.total == 4
+    assert cache.hits.total == 0
+
+
+def test_cache_write_through_keeps_copies_fresh():
+    platform, cache = _cached()
+
+    def proc():
+        yield from cache.io(0, 4096)               # cache page 0
+        yield from cache.io(0, 4096, is_write=True)  # write-through
+        yield from cache.io(0, 4096)               # still a hit
+
+    _run(platform, proc())
+    assert cache.hits.total == 1
+
+
+def test_cache_rejects_tiny_capacity():
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    backend = make_backend("spdk", platform)
+    with pytest.raises(ConfigurationError):
+        CachedBackend(backend, capacity_bytes=100)
+
+
+def test_cache_improves_zipfian_trace_throughput():
+    """On skewed traffic a Ginex-style cache beats the raw backend."""
+    def run(with_cache):
+        platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+        backend = make_backend("spdk", platform, to_gpu=False)
+        if with_cache:
+            backend = CachedBackend(backend, 2 << 20, to_gpu=False)
+        trace = make_zipfian_trace(
+            1200, target_iops=10_000_000, skew=1.5,
+            spread_blocks=1 << 14, write_fraction=0.0, seed=7,
+        )
+        report = TraceReplayer(backend).replay(
+            trace, open_loop=False, concurrency=64
+        )
+        return report.achieved_bytes_per_s, backend
+
+    plain_rate, _ = run(False)
+    cached_rate, cached_backend = run(True)
+    assert cached_backend.hit_rate() > 0.3
+    assert cached_rate > 1.2 * plain_rate
+
+
+def test_cache_name_reflects_composition():
+    _, cache = _cached(inner="spdk")
+    assert cache.name == "spdk+cache"
+
+
+# --- io_uring fixed buffers ---------------------------------------------------
+
+def test_fixed_buffers_cut_iomap_share():
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    plain = IoUringStack(platform, poll_mode=True)
+    platform2 = Platform(PlatformConfig(num_ssds=1), functional=False)
+    fixed = IoUringStack(platform2, poll_mode=True, fixed_buffers=True)
+
+    def drive(stack, platform_):
+        def proc():
+            for index in range(50):
+                yield from stack.io(index * 8, 4096)
+
+        platform_.env.run(platform_.env.process(proc()))
+        return stack.breakdown.fractions()["iomap"]
+
+    plain_share = drive(plain, platform)
+    fixed_share = drive(fixed, platform2)
+    assert fixed_share < 0.4 * plain_share
+
+
+def test_fixed_buffers_raise_throughput_but_kernel_floor_remains():
+    from repro.backends import measure_throughput
+    from repro.model.throughput import device_iops
+
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    fixed = IoUringStack(platform, poll_mode=True, fixed_buffers=True)
+
+    class _Shim:
+        def __init__(self, stack, platform_):
+            self.stack = stack
+            self.platform = platform_
+            self.env = platform_.env
+
+        def io(self, *args, **kwargs):
+            return self.stack.io(*args, **kwargs)
+
+    rate = measure_throughput(
+        _Shim(fixed, platform), 4096, total_requests=400,
+        concurrency=fixed.concurrency,
+    )
+    platform2 = Platform(PlatformConfig(num_ssds=1), functional=False)
+    plain = IoUringStack(platform2, poll_mode=True)
+    plain_rate = measure_throughput(
+        _Shim(plain, platform2), 4096, total_requests=400,
+        concurrency=plain.concurrency,
+    )
+    assert rate > 1.2 * plain_rate
+    # the fs + blockio layers still keep it below the device's ability
+    ssd_max = device_iops(PlatformConfig().ssd, 4096, False) * 4096
+    assert rate < 0.75 * ssd_max
+
+
+def test_fixed_buffers_name():
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    stack = IoUringStack(platform, poll_mode=True, fixed_buffers=True)
+    assert "fixed buffers" in stack.name

@@ -1,0 +1,218 @@
+"""Tests for CAM's Table II API: CamContext + CamDeviceAPI."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core import CamContext
+from repro.errors import APIUsageError
+from repro.hw.platform import Platform
+from repro.units import KiB
+from repro.workloads.vdisk import VirtualDisk
+
+
+def _context(num_ssds=4, functional=True, **kwargs):
+    platform = Platform(PlatformConfig(num_ssds=num_ssds),
+                        functional=functional)
+    return platform, CamContext(platform, **kwargs)
+
+
+def test_alloc_returns_pinned_buffer():
+    _, context = _context(functional=False)
+    buffer = context.alloc(64 * KiB)
+    assert buffer.pinned
+    assert buffer.physical_address > 0
+    context.free(buffer)
+
+
+def test_free_foreign_buffer_rejected():
+    platform, context = _context(functional=False)
+    foreign = platform.gpu.memory.alloc(4096)
+    with pytest.raises(APIUsageError):
+        context.free(foreign)
+
+
+def test_closed_context_rejects_calls():
+    _, context = _context(functional=False)
+    context.close()
+    with pytest.raises(APIUsageError):
+        context.alloc(4096)
+    with pytest.raises(APIUsageError):
+        context.device_api()
+
+
+def test_close_releases_outstanding_buffers():
+    platform, context = _context(functional=False)
+    context.alloc(64 * KiB)
+    context.close()
+    assert platform.gpu.memory.bytes_in_use == 0
+
+
+def test_prefetch_roundtrip_with_real_data():
+    platform, context = _context()
+    vdisk = VirtualDisk(platform)
+    payload = (np.arange(8 * 4096) % 251).astype(np.uint8)
+    vdisk.write_direct(0, payload)
+    buffer = context.alloc(8 * 4096)
+    api = context.device_api()
+    lbas = np.arange(8, dtype=np.int64) * 8  # 8 x 4 KiB
+
+    def kernel():
+        yield from api.prefetch(lbas, buffer, 4096)
+        yield from api.prefetch_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    assert np.array_equal(buffer.view(np.uint8)[: len(payload)], payload)
+
+
+def test_write_back_persists_to_disk():
+    platform, context = _context()
+    vdisk = VirtualDisk(platform)
+    buffer = context.alloc(4 * 4096)
+    data = (np.arange(4 * 4096) % 13).astype(np.uint8)
+    buffer.write_bytes(0, data)
+    api = context.device_api()
+    lbas = np.arange(4, dtype=np.int64) * 8
+
+    def kernel():
+        yield from api.write_back(lbas, buffer, 4096)
+        yield from api.write_back_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    assert np.array_equal(vdisk.read_direct(0, len(data)), data)
+
+
+def test_synchronize_without_prefetch_is_noop():
+    """First loop iteration of Fig. 7 synchronizes before any prefetch."""
+    platform, context = _context(functional=False)
+    api = context.device_api()
+
+    def kernel():
+        yield from api.prefetch_synchronize()
+        return platform.env.now
+
+    assert platform.env.run(platform.env.process(kernel())) == 0.0
+
+
+def test_double_prefetch_without_sync_rejected():
+    platform, context = _context(functional=False)
+    buffer = context.alloc(64 * KiB)
+    api = context.device_api()
+    lbas = np.array([0], dtype=np.int64)
+
+    def kernel():
+        yield from api.prefetch(lbas, buffer, 4096)
+        with pytest.raises(APIUsageError, match="not synchronized"):
+            yield from api.prefetch(lbas, buffer, 4096)
+        yield from api.prefetch_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+
+
+def test_prefetch_and_write_back_can_overlap():
+    """Independent read and write batches may be in flight together."""
+    platform, context = _context(functional=False)
+    read_buf = context.alloc(64 * KiB)
+    write_buf = context.alloc(64 * KiB)
+    api = context.device_api()
+    lbas = np.arange(4, dtype=np.int64) * 8
+
+    def kernel():
+        yield from api.prefetch(lbas, read_buf, 4096)
+        yield from api.write_back(lbas + 1000, write_buf, 4096)
+        yield from api.prefetch_synchronize()
+        yield from api.write_back_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    assert context.manager.batches_done.total == 2
+
+
+def test_unpinned_destination_rejected():
+    platform, context = _context(functional=False)
+    pageable = platform.gpu.memory.alloc(64 * KiB)  # not via CAM_alloc
+    api = context.device_api()
+
+    def kernel():
+        yield from api.prefetch(np.array([0]), pageable, 4096)
+
+    with pytest.raises(APIUsageError, match="pinned"):
+        platform.env.run(platform.env.process(kernel()))
+
+
+def test_batch_overflowing_buffer_rejected():
+    platform, context = _context(functional=False)
+    buffer = context.alloc(4096)
+    api = context.device_api()
+
+    def kernel():
+        yield from api.prefetch(np.arange(4, dtype=np.int64), buffer, 4096)
+
+    with pytest.raises(APIUsageError, match="overflows"):
+        platform.env.run(platform.env.process(kernel()))
+
+
+def test_batch_size_limit_enforced():
+    platform, context = _context(functional=False, max_batch_requests=8)
+    buffer = context.alloc(64 * KiB)
+    api = context.device_api()
+
+    def kernel():
+        yield from api.prefetch(np.arange(9, dtype=np.int64), buffer, 4096)
+
+    with pytest.raises(APIUsageError, match="max_batch_requests"):
+        platform.env.run(platform.env.process(kernel()))
+
+
+def test_prefetch_returns_before_data_arrives():
+    """The initiation is asynchronous: prefetch costs only doorbell time."""
+    platform, context = _context(functional=False)
+    buffer = context.alloc(256 * KiB)
+    api = context.device_api()
+    env = platform.env
+    lbas = np.arange(64, dtype=np.int64) * 8
+
+    def kernel():
+        start = env.now
+        yield from api.prefetch(lbas, buffer, 4096)
+        initiate = env.now - start
+        yield from api.prefetch_synchronize()
+        total = env.now - start
+        return initiate, total
+
+    initiate, total = env.run(env.process(kernel()))
+    assert initiate == pytest.approx(context.config.doorbell_time)
+    assert total > 10 * initiate
+
+
+def test_requests_fan_out_across_all_ssds():
+    platform, context = _context(num_ssds=4, functional=False)
+    buffer = context.alloc(512 * KiB)
+    api = context.device_api()
+    lbas = np.arange(128, dtype=np.int64) * 8
+
+    def kernel():
+        yield from api.prefetch(lbas, buffer, 4096)
+        yield from api.prefetch_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    for ssd in platform.ssds:
+        assert ssd.reads_completed.total > 0
+
+
+def test_context_manager_closes_and_releases():
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    with CamContext(platform) as context:
+        context.alloc(64 * KiB)
+        assert platform.gpu.memory.bytes_in_use > 0
+    assert platform.gpu.memory.bytes_in_use == 0
+    with pytest.raises(APIUsageError):
+        context.alloc(4096)
+
+
+def test_reusing_closed_context_as_manager_rejected():
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    context = CamContext(platform)
+    context.close()
+    with pytest.raises(APIUsageError):
+        with context:
+            pass

@@ -1,0 +1,108 @@
+"""Tests for CAM's dynamic core adjustment (Challenge 1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core import CamContext, CoreAutotuner
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.units import KiB
+
+
+def test_bounds_follow_paper_n4_to_n2():
+    tuner = CoreAutotuner(num_ssds=12)
+    assert tuner.bounds == (3, 6)
+    tuner8 = CoreAutotuner(num_ssds=8)
+    assert tuner8.bounds == (2, 4)
+    tuner1 = CoreAutotuner(num_ssds=1)
+    assert tuner1.bounds == (1, 1)
+
+
+def test_starts_at_maximum():
+    tuner = CoreAutotuner(num_ssds=12)
+    assert tuner.cores == 6
+
+
+def test_shrinks_when_compute_dominates():
+    tuner = CoreAutotuner(num_ssds=12)
+    for _ in range(10):
+        tuner.observe(compute_time=1.0, io_time=0.2)
+    assert tuner.cores == tuner.min_cores
+
+
+def test_grows_when_io_dominates():
+    tuner = CoreAutotuner(num_ssds=12)
+    for _ in range(10):
+        tuner.observe(compute_time=1.0, io_time=0.2)
+    assert tuner.cores == 3
+    for _ in range(10):
+        tuner.observe(compute_time=0.2, io_time=1.0)
+    assert tuner.cores == tuner.max_cores
+
+
+def test_balanced_batches_hold_steady():
+    tuner = CoreAutotuner(num_ssds=12)
+    tuner.cores = 4
+    for _ in range(5):
+        tuner.observe(compute_time=1.0, io_time=0.95)
+    assert tuner.cores == 4
+
+
+def test_negative_times_rejected():
+    tuner = CoreAutotuner(num_ssds=12)
+    with pytest.raises(ConfigurationError):
+        tuner.observe(-1.0, 0.5)
+
+
+def test_invalid_ssd_count_rejected():
+    with pytest.raises(ConfigurationError):
+        CoreAutotuner(num_ssds=0)
+
+
+def test_history_recorded():
+    tuner = CoreAutotuner(num_ssds=8)
+    tuner.observe(1.0, 0.5)
+    tuner.observe(1.0, 2.0)
+    assert len(tuner.history) == 2
+    assert tuner.history[0][:2] == (1.0, 0.5)
+
+
+def test_end_to_end_autotune_shrinks_under_compute_heavy_loop():
+    """Compute-heavy pipeline iterations shed manager cores live."""
+    platform = Platform(PlatformConfig(num_ssds=12), functional=False)
+    context = CamContext(platform, autotune=True)
+    buffer = context.alloc(64 * KiB)
+    api = context.device_api()
+    env = platform.env
+    lbas = np.arange(4, dtype=np.int64) * 8
+
+    def kernel():
+        for _ in range(8):
+            yield from api.prefetch(lbas, buffer, 4096)
+            yield env.timeout(5e-3)  # long compute: I/O fully hidden
+            yield from api.prefetch_synchronize()
+
+    env.run(env.process(kernel()))
+    assert context.manager.active_reactors == context.autotuner.min_cores
+    assert context.autotuner.min_cores == 3
+
+
+def test_end_to_end_autotune_recovers_under_io_heavy_loop():
+    platform = Platform(PlatformConfig(num_ssds=12), functional=False)
+    context = CamContext(platform, autotune=True)
+    context.manager.set_active_reactors(3)
+    context.autotuner.cores = 3
+    buffer = context.alloc(8 << 20)
+    api = context.device_api()
+    env = platform.env
+    lbas = np.arange(2048, dtype=np.int64) * 8
+
+    def kernel():
+        for _ in range(6):
+            yield from api.prefetch(lbas, buffer, 4096)
+            # near-zero compute: I/O is the critical path
+            yield from api.prefetch_synchronize()
+
+    env.run(env.process(kernel()))
+    assert context.manager.active_reactors > 3

@@ -1,0 +1,106 @@
+"""Tests for CAM's four synchronization memory regions."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import BatchArgs, SyncRegions
+from repro.errors import APIUsageError
+from repro.sim import Environment
+
+
+def _args(count=4):
+    return BatchArgs(
+        request_count=count,
+        dest_physical_address=0x1000,
+        granularity=4096,
+        is_write=False,
+    )
+
+
+def test_lba_region_roundtrip():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=16)
+    lbas = np.array([8, 16, 24, 32], dtype=np.int64)
+    regions.write_lbas(lbas)
+    regions.ring_doorbell(_args(4))
+    got, args = regions.take_batch()
+    assert np.array_equal(got, lbas)
+    assert args.granularity == 4096
+
+
+def test_lba_region_capacity_enforced():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=2)
+    with pytest.raises(APIUsageError):
+        regions.write_lbas(np.array([1, 2, 3], dtype=np.int64))
+
+
+def test_empty_lba_array_rejected():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=2)
+    with pytest.raises(APIUsageError):
+        regions.write_lbas(np.array([], dtype=np.int64))
+
+
+def test_doorbell_wakes_cpu_poller():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=4)
+    log = []
+
+    def cpu_poller():
+        args = yield regions.doorbell_event()
+        log.append(("noticed", env.now, args.request_count))
+        regions.signal_completion()
+
+    def gpu():
+        yield env.timeout(2.0)
+        regions.write_lbas(np.array([0], dtype=np.int64))
+        regions.ring_doorbell(_args(1))
+
+    env.process(cpu_poller())
+    env.process(gpu())
+    env.run()
+    assert log == [("noticed", 2.0, 1)]
+
+
+def test_completion_event_per_batch():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=4)
+    regions.write_lbas(np.array([0], dtype=np.int64))
+    regions.ring_doorbell(_args(1))
+    first = regions.completion_event()
+    regions.signal_completion()
+    # the captured event fired; a fresh one is armed for the next batch
+    assert first.triggered
+    assert not regions.completion_event().triggered
+
+
+def test_double_doorbell_rejected():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=4)
+    regions.ring_doorbell(_args(1))
+    with pytest.raises(APIUsageError, match="pending"):
+        regions.ring_doorbell(_args(1))
+
+
+def test_completion_without_doorbell_rejected():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=4)
+    with pytest.raises(APIUsageError):
+        regions.signal_completion()
+
+
+def test_invalid_request_count_rejected():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=4)
+    with pytest.raises(APIUsageError):
+        regions.ring_doorbell(_args(0))
+    with pytest.raises(APIUsageError):
+        regions.ring_doorbell(_args(9))
+
+
+def test_take_batch_without_doorbell_rejected():
+    env = Environment()
+    regions = SyncRegions(env, max_requests=4)
+    with pytest.raises(APIUsageError):
+        regions.take_batch()

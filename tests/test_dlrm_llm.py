@@ -1,0 +1,99 @@
+"""Tests for the DLRM and LLM-offload motivation workloads."""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.units import MiB
+from repro.workloads.dlrm import DlrmTrainer, dlrm_with_backend
+from repro.workloads.llm import LlmOffloadTrainer, llm_with_backend
+
+
+# --- DLRM -----------------------------------------------------------------
+
+def test_dlrm_baseline_embedding_share_near_paper():
+    """TorchRec number: ~75% of iteration time on embedding access."""
+    outcome = dlrm_with_backend(
+        "libaio", iterations=5, num_rows=1 << 12, batch_size=256
+    )
+    assert 0.65 < outcome.embedding_fraction < 0.85
+    assert outcome.verified
+
+
+def test_dlrm_cam_overlaps_embedding_access():
+    baseline = dlrm_with_backend(
+        "libaio", iterations=5, num_rows=1 << 12, batch_size=256
+    )
+    cam = dlrm_with_backend(
+        "cam", iterations=5, num_rows=1 << 12, batch_size=256
+    )
+    assert cam.total_time < 0.5 * baseline.total_time
+    assert cam.embedding_fraction < baseline.embedding_fraction
+    assert cam.verified
+
+
+def test_dlrm_row_sampling_is_skewed():
+    platform = Platform(PlatformConfig(num_ssds=2))
+    backend = make_backend("cam", platform)
+    trainer = DlrmTrainer(platform, backend, num_rows=1 << 12,
+                          batch_size=512)
+    rows = trainer._sample_rows()
+    # zipf dedup: far fewer unique rows than raw lookups
+    assert len(rows) < 512 * trainer.lookups_per_sample * 0.5
+    assert rows.max() < 1 << 12
+
+
+def test_dlrm_validation():
+    platform = Platform(PlatformConfig(num_ssds=2))
+    backend = make_backend("cam", platform)
+    with pytest.raises(ConfigurationError):
+        DlrmTrainer(platform, backend, embedding_dim=2048)  # > 1 page
+    with pytest.raises(ConfigurationError):
+        DlrmTrainer(platform, backend, num_rows=16, batch_size=512)
+    trainer = DlrmTrainer(platform, backend, num_rows=1 << 12)
+    with pytest.raises(ConfigurationError):
+        trainer.run()
+
+
+# --- LLM offload -------------------------------------------------------------
+
+def test_llm_baseline_update_share_exceeds_80_percent():
+    outcome = llm_with_backend(
+        "libaio", steps=2, model_bytes=64 * MiB, shard_bytes=4 * MiB
+    )
+    assert outcome.update_fraction > 0.75
+    assert outcome.verified
+
+
+def test_llm_cam_shrinks_update_phase():
+    baseline = llm_with_backend(
+        "libaio", steps=2, model_bytes=32 * MiB, shard_bytes=4 * MiB
+    )
+    cam = llm_with_backend(
+        "cam", steps=2, model_bytes=32 * MiB, shard_bytes=4 * MiB
+    )
+    assert cam.total_time < baseline.total_time
+    assert cam.verified
+
+
+def test_llm_optimizer_math_is_correct():
+    """After N steps every parameter moved by N * lr * grad."""
+    outcome = llm_with_backend(
+        "cam", steps=3, model_bytes=16 * MiB, shard_bytes=4 * MiB
+    )
+    assert outcome.verified
+    assert outcome.bytes_streamed == 3 * 2 * 16 * MiB
+
+
+def test_llm_validation():
+    platform = Platform(PlatformConfig(num_ssds=2))
+    backend = make_backend("cam", platform)
+    with pytest.raises(ConfigurationError):
+        LlmOffloadTrainer(platform, backend, model_bytes=10 * MiB,
+                          shard_bytes=4 * MiB)
+    trainer = LlmOffloadTrainer(platform, backend, model_bytes=8 * MiB,
+                                shard_bytes=4 * MiB)
+    with pytest.raises(ConfigurationError):
+        trainer.run()

@@ -1,0 +1,54 @@
+"""Smoke tests: every example program runs to completion and verifies."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+_SCRIPTS = [
+    "quickstart.py",
+    "out_of_core_sort.py",
+    "out_of_core_gemm.py",
+    "gnn_training.py",
+    "io_stack_comparison.py",
+    "anns_search.py",
+    "storage_offloaded_training.py",
+    "trace_replay.py",
+    "loc/sort_cam.py",
+    "loc/sort_posix.py",
+    "loc/gemm_cam.py",
+    "loc/gemm_bam.py",
+    "loc/gemm_gds.py",
+    "loc/gnn_cam.py",
+    "loc/gnn_bam.py",
+]
+
+
+@pytest.mark.parametrize("script", _SCRIPTS)
+def test_example_runs_clean(script):
+    path = _EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_reports_verification():
+    completed = subprocess.run(
+        [sys.executable, str(_EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "data verified" in completed.stdout
+    assert "write-back durable" in completed.stdout

@@ -1,0 +1,162 @@
+"""Tests for the extra studies: ablations, ANNS, fragmentation."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.registry import EXTRAS
+from repro.workloads.gnn import gat, paper100m
+from repro.workloads.gnn.training import run_gnn_epoch
+
+
+def test_extras_registry():
+    assert set(EXTRAS) == {
+        "anns",
+        "dlrm",
+        "llm",
+        "ablation_overlap",
+        "ablation_datapath",
+        "ablation_autotune",
+        "fragmentation",
+        "latency",
+        "host_cache",
+        "paper_scale_gnn",
+        "ssd_character",
+    }
+
+
+def test_anns_study_memcpy_share():
+    result = run_experiment("anns", quick=True)
+    table = result.tables[0]
+    fractions = dict(
+        zip(table.column("system"), table.column("memcpy_fraction"))
+    )
+    assert 0.6 < fractions["spdk"] < 0.95  # paper: ~78%
+    assert fractions["cam"] == 0.0
+    recalls = table.column("recall@1")
+    assert all(r >= 0.9 for r in recalls)
+
+
+def test_ablation_overlap_slowdowns():
+    result = run_experiment("ablation_overlap", quick=True)
+    table = result.tables[0]
+    slowdowns = dict(
+        zip(table.column("workload"), table.column("slowdown"))
+    )
+    # the balanced workload suffers most from losing overlap
+    assert slowdowns["GNN (GAT, Paper100M)"] > 1.4
+    assert slowdowns["mergesort"] > 1.05
+
+
+def test_cam_serial_system_matches_gids_structure():
+    """CAM without overlap loses the overlap gain but keeps the control
+    plane: it lands between GIDS and full CAM."""
+    spec = paper100m().scale(0.004)
+    cam = run_gnn_epoch(spec, gat(), "cam", batch_size=32, max_batches=5)
+    serial = run_gnn_epoch(spec, gat(), "cam-serial", batch_size=32,
+                           max_batches=5)
+    gids = run_gnn_epoch(spec, gat(), "gids", batch_size=32, max_batches=5)
+    assert cam.total_time < serial.total_time
+    assert serial.total_time <= gids.total_time * 1.05
+
+
+def test_ablation_datapath_pressure_points():
+    result = run_experiment("ablation_datapath", quick=True)
+    table = result.tables[0]
+    for row in table.rows:
+        scenario, direct, bounce = row
+        if "ample" in scenario:
+            assert direct == pytest.approx(bounce, rel=0.01)
+        else:
+            assert direct > 1.5 * bounce, scenario
+
+
+def test_ablation_autotune_sheds_cores_without_time_loss():
+    result = run_experiment("ablation_autotune", quick=True)
+    table = result.tables[0]
+    rows = {(r[0], r[1]): (r[2], r[3]) for r in table.rows}
+    # compute-bound: tuner reaches N/4 cores at the static-N/2 time
+    auto_cores, auto_time = rows[("compute-bound", "autotune")]
+    _, static_time = rows[("compute-bound", "static N/2")]
+    assert auto_cores == 3
+    assert auto_time == pytest.approx(static_time, rel=0.02)
+    # io-bound: tuner holds N/2 and beats static N/4
+    auto_cores_io, auto_time_io = rows[("io-bound", "autotune")]
+    _, n4_time = rows[("io-bound", "static N/4")]
+    assert auto_cores_io == 6
+    assert auto_time_io < n4_time
+
+
+def test_fragmentation_degrades_gds_monotonically():
+    result = run_experiment("fragmentation", quick=True)
+    table = result.tables[0]
+    rates = table.column("gds_GB/s")
+    assert all(b <= a for a, b in zip(rates, rates[1:]))
+    assert rates[-1] < 0.75 * rates[0]
+
+
+def test_dlrm_study_shares():
+    result = run_experiment("dlrm", quick=True)
+    table = result.tables[0]
+    shares = dict(
+        zip(table.column("system"), table.column("embedding_fraction"))
+    )
+    assert 0.65 < shares["cpu-managed (libaio)"] < 0.85  # paper: ~75%
+    assert shares["cam"] < shares["cpu-managed (libaio)"]
+    assert all(table.column("verified"))
+
+
+def test_llm_study_shares():
+    result = run_experiment("llm", quick=True)
+    table = result.tables[0]
+    shares = dict(
+        zip(table.column("system"), table.column("update_fraction"))
+    )
+    assert shares["cpu-managed (libaio)"] > 0.75  # paper: >80%
+    assert shares["cam"] < shares["cpu-managed (libaio)"]
+    assert all(table.column("verified"))
+
+
+def test_latency_study_shapes():
+    result = run_experiment("latency", quick=True)
+    table = result.tables[0]
+    cam_p99 = table.column("cam_p99")
+    # latency grows toward saturation
+    assert cam_p99[-1] > cam_p99[0]
+    # the kernel path pays a per-request tax even unloaded
+    first = table.rows[0]
+    by = dict(zip(table.columns, first))
+    assert by["posix_p50"] > by["cam_p50"]
+
+
+def test_host_cache_composes_with_cam():
+    result = run_experiment("host_cache", quick=True)
+    table = result.tables[0]
+    rates = dict(zip(table.column("configuration"), table.column("GB/s")))
+    assert rates["spdk + 2 MiB cache"] > rates["spdk"]
+    assert rates["cam + 2 MiB cache"] > rates["cam"]
+    hits = dict(zip(table.column("configuration"),
+                    table.column("hit_rate")))
+    assert hits["spdk + 2 MiB cache"] > 0.3
+
+
+def test_paper_scale_gnn_study():
+    result = run_experiment("paper_scale_gnn", quick=True)
+    table = result.tables[0]
+    speedups = table.column("speedup")
+    assert all(1.2 < s < 2.0 for s in speedups)
+    volumes = dict(zip(
+        [f"{r[0]}/{r[1]}" for r in table.rows],
+        table.column("GB_per_epoch"),
+    ))
+    # Table IV scale: hundreds of GB of feature traffic per epoch
+    assert volumes["Paper100M/GCN"] > 50
+    assert volumes["IGB-Full/GCN"] > volumes["Paper100M/GCN"]
+
+
+def test_ssd_characterization_within_datasheet_band():
+    result = run_experiment("ssd_character", quick=True)
+    table = result.tables[0]
+    for row in table.rows:
+        label, datasheet, model, measured = row
+        assert measured == pytest.approx(datasheet, rel=0.15), label
+        assert measured <= model * 1.02, label

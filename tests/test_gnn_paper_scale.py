@@ -1,0 +1,87 @@
+"""Tests for paper-scale GNN epoch estimation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.gnn import gat, gcn, igb_full, paper100m
+from repro.workloads.gnn.paper_scale import (
+    estimate_epoch,
+    measure_batch_shape,
+)
+
+
+@pytest.fixture(scope="module")
+def p100m_shape():
+    return measure_batch_shape(paper100m(), probe_scale=0.005)
+
+
+def test_shape_statistics_sane(p100m_shape):
+    # fan-outs (25, 10): at most 1 + 25 + 250 touched per seed
+    assert 1 < p100m_shape.unique_per_seed < 276
+    assert p100m_shape.edges_per_seed <= 275
+    assert len(p100m_shape.layer_nodes_per_seed) == 2
+
+
+def test_shape_stable_across_probe_scales():
+    """The scale-invariance assumption: shapes measured at two probe
+    scales agree within sampling noise."""
+    small = measure_batch_shape(paper100m(), probe_scale=0.003)
+    large = measure_batch_shape(paper100m(), probe_scale=0.01)
+    assert small.unique_per_seed == pytest.approx(
+        large.unique_per_seed, rel=0.25
+    )
+    assert small.edges_per_seed == pytest.approx(
+        large.edges_per_seed, rel=0.25
+    )
+
+
+def test_epoch_estimate_batch_count(p100m_shape):
+    estimate = estimate_epoch(
+        paper100m(), gcn(), "gids", shape=p100m_shape
+    )
+    # ~1.11M train nodes / 8000 per batch
+    assert estimate.batches == 139
+
+
+def test_epoch_speedups_match_paper_bands(p100m_shape):
+    gids = estimate_epoch(paper100m(), gat(), "gids", shape=p100m_shape)
+    cam = estimate_epoch(paper100m(), gat(), "cam", shape=p100m_shape)
+    speedup = gids.epoch_seconds / cam.epoch_seconds
+    assert 1.4 < speedup < 2.0  # paper: up to 1.84x
+    assert 0.40 <= gids.extract_fraction <= 0.70  # Fig. 1 band
+
+
+def test_igb_epoch_larger_than_paper100m(p100m_shape):
+    igb_shape = measure_batch_shape(igb_full(), probe_scale=0.002)
+    p = estimate_epoch(paper100m(), gcn(), "gids", shape=p100m_shape)
+    i = estimate_epoch(igb_full(), gcn(), "gids", shape=igb_shape)
+    # IGB: more train nodes and 8x feature bytes -> much bigger epoch
+    assert i.epoch_seconds > 1.5 * p.epoch_seconds
+    assert i.bytes_per_epoch > 2 * p.bytes_per_epoch
+
+
+def test_estimate_validation(p100m_shape):
+    with pytest.raises(ConfigurationError):
+        estimate_epoch(paper100m(), gcn(), "turbo", shape=p100m_shape)
+    with pytest.raises(ConfigurationError):
+        measure_batch_shape(paper100m(), probe_scale=0)
+
+
+def test_estimate_consistent_with_simulated_epoch(p100m_shape):
+    """The analytic estimate and the simulated loop agree on the
+    GIDS-vs-CAM ratio (the quantity Fig. 9 reports)."""
+    from repro.workloads.gnn.training import run_gnn_epoch
+
+    spec = paper100m().scale(0.005)
+    simulated_gids = run_gnn_epoch(spec, gcn(), "gids", batch_size=40,
+                                   max_batches=8)
+    simulated_cam = run_gnn_epoch(spec, gcn(), "cam", batch_size=40,
+                                  max_batches=8)
+    simulated_ratio = (
+        simulated_gids.total_time / simulated_cam.total_time
+    )
+    est_gids = estimate_epoch(paper100m(), gcn(), "gids",
+                              shape=p100m_shape)
+    est_cam = estimate_epoch(paper100m(), gcn(), "cam", shape=p100m_shape)
+    analytic_ratio = est_gids.epoch_seconds / est_cam.epoch_seconds
+    assert analytic_ratio == pytest.approx(simulated_ratio, rel=0.15)

@@ -1,0 +1,112 @@
+"""Golden-number regression tests.
+
+These lock the calibration: if a refactor shifts any headline figure away
+from the paper-anchored values recorded in EXPERIMENTS.md, a test here
+fails before the drift reaches the documentation.  Bounds are tight
+around the *current* model outputs (not just the paper's qualitative
+bands), so any change to the constants in ``repro/config.py`` is an
+intentional, test-visible act.
+"""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.model.throughput import ThroughputModel, device_iops
+from repro.units import KiB, MiB
+
+MODEL = ThroughputModel(PlatformConfig())
+GB = 1e9
+
+
+def test_golden_ssd_anchors():
+    ssd = PlatformConfig().ssd
+    assert device_iops(ssd, 4 * KiB, False) * 4 * KiB == pytest.approx(
+        2.613 * GB, rel=0.01
+    )
+    assert device_iops(ssd, 4 * KiB, True) * 4 * KiB == pytest.approx(
+        0.647 * GB, rel=0.01
+    )
+    assert device_iops(ssd, MiB, False) * MiB == pytest.approx(
+        6.46 * GB, rel=0.01
+    )
+
+
+def test_golden_headline_20gbps():
+    assert MODEL.throughput("cam", 4 * KiB, False, cores=12) == (
+        pytest.approx(19.0 * GB, rel=0.01)
+    )
+    assert MODEL.throughput("spdk", 4 * KiB, False) == pytest.approx(
+        19.0 * GB, rel=0.01
+    )
+    assert MODEL.throughput("bam", 4 * KiB, False) == pytest.approx(
+        19.0 * GB, rel=0.01
+    )
+
+
+def test_golden_kernel_stack_points():
+    expectations = {
+        ("posix", False): 0.480,
+        ("libaio", False): 0.792,
+        ("io_uring int", False): 0.881,
+        ("io_uring poll", False): 0.993,
+        ("posix", True): 0.139,
+        ("libaio", True): 0.538,
+    }
+    for (stack, is_write), value in expectations.items():
+        got = MODEL.throughput(stack, 4 * KiB, is_write, num_ssds=1,
+                               to_gpu=False)
+        assert got == pytest.approx(value * GB, rel=0.01), (stack, is_write)
+
+
+def test_golden_fig12_fractions():
+    full = MODEL.throughput("cam", 4 * KiB, False, cores=12)
+    assert MODEL.throughput("cam", 4 * KiB, False, cores=3) / full == (
+        pytest.approx(0.719, abs=0.01)
+    )
+    assert MODEL.throughput("cam", 4 * KiB, False, cores=1) / full == (
+        pytest.approx(0.240, abs=0.01)
+    )
+
+
+def test_golden_fig16_collapse_point():
+    spdk = MODEL.throughput("spdk", 4 * KiB, False, contiguous_dest=False)
+    assert spdk == pytest.approx(1.282 * GB, rel=0.01)  # paper: 1.3
+
+
+def test_golden_fig15_two_channel_limit():
+    assert MODEL.throughput("spdk", 128 * KiB, False, dram_channels=2) == (
+        pytest.approx(10.0 * GB, rel=0.01)
+    )
+
+
+def test_golden_gds_level():
+    assert MODEL.throughput("gds", 128 * KiB, False) == pytest.approx(
+        0.874 * GB, rel=0.01
+    )
+
+
+def test_golden_bam_sm_requirements():
+    from repro.bam.system import BamSystem
+    from repro.hw.platform import Platform
+
+    platform = Platform(PlatformConfig(num_ssds=12), functional=False)
+    system = BamSystem(platform)
+    assert system.sms_to_saturate(1) == 16
+    assert system.sms_to_saturate(5) == 78
+    assert system.sms_to_saturate(8) == 108
+
+
+def test_golden_cpu_cost_per_request():
+    from repro.backends import make_backend, measure_throughput
+    from repro.hw.platform import Platform
+
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    backend = make_backend("cam", platform)
+    measure_throughput(backend, 4096, total_requests=100, concurrency=32)
+    reactor = backend.manager.driver.pool.reactors[0]
+    assert reactor.accountant.instructions_per_request() == pytest.approx(
+        510.0, rel=0.01
+    )
+    assert reactor.accountant.cycles_per_request() == pytest.approx(
+        221.2, rel=0.01
+    )

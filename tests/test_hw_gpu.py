@@ -1,0 +1,185 @@
+"""Unit tests for the GPU model: memory allocator, SM pool, kernels,
+copy engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import AllocationError
+from repro.hw.gpu import GPU, GPUMemory
+from repro.sim import Environment
+from repro.units import KiB, MiB, US
+
+
+# --- allocator ---------------------------------------------------------------
+
+def test_alloc_free_reuse():
+    memory = GPUMemory(capacity=64 * MiB, arena_bytes=1 * MiB)
+    a = memory.alloc(256 * KiB)
+    b = memory.alloc(256 * KiB)
+    memory.free(a)
+    c = memory.alloc(256 * KiB)  # reuses the freed range
+    assert c.offset == a.offset
+    memory.free(b)
+    memory.free(c)
+    assert memory.bytes_in_use == 0
+
+
+def test_alloc_alignment():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    buffer = memory.alloc(100)  # rounded up to 4 KiB
+    assert buffer.size == 4096
+
+
+def test_free_coalesces_adjacent_ranges():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    buffers = [memory.alloc(256 * KiB) for _ in range(4)]
+    for buffer in buffers:
+        memory.free(buffer)
+    # after coalescing, one allocation can span the whole arena
+    big = memory.alloc(1 * MiB)
+    assert big.size == 1 * MiB
+
+
+def test_out_of_memory_raises():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    memory.alloc(768 * KiB)
+    with pytest.raises(AllocationError, match="out of GPU memory"):
+        memory.alloc(512 * KiB)
+
+
+def test_double_free_rejected():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    buffer = memory.alloc(4096)
+    memory.free(buffer)
+    with pytest.raises(AllocationError, match="double free"):
+        memory.free(buffer)
+
+
+def test_use_after_free_rejected():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    buffer = memory.alloc(4096)
+    memory.free(buffer)
+    with pytest.raises(AllocationError):
+        _ = buffer.data
+
+
+def test_buffer_byte_roundtrip():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    buffer = memory.alloc(8192)
+    data = np.arange(4096, dtype=np.uint8)
+    buffer.write_bytes(1024, data)
+    assert np.array_equal(buffer.read_bytes(1024, 4096), data)
+
+
+def test_buffer_overflow_checked():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    buffer = memory.alloc(4096)
+    with pytest.raises(AllocationError):
+        buffer.write_bytes(4000, np.zeros(200, dtype=np.uint8))
+    with pytest.raises(AllocationError):
+        buffer.read_bytes(0, 5000)
+
+
+def test_physical_address_requires_pin():
+    memory = GPUMemory(capacity=1 * MiB, arena_bytes=1 * MiB)
+    buffer = memory.alloc(4096)
+    with pytest.raises(AllocationError, match="pinned"):
+        _ = buffer.physical_address
+    physical = memory.pin(buffer)
+    assert buffer.physical_address == physical
+    assert memory.buffer_at_physical(physical) is buffer
+
+
+# --- SM pool + kernels --------------------------------------------------------
+
+def test_kernel_time_roofline():
+    env = Environment()
+    gpu = GPU(env, GPUConfig(), arena_bytes=1 * MiB)
+    compute_bound = gpu.kernel_time(flops=1e12, bytes_accessed=0)
+    memory_bound = gpu.kernel_time(flops=0, bytes_accessed=1e12)
+    both = gpu.kernel_time(flops=1e12, bytes_accessed=1e12)
+    assert both == pytest.approx(max(compute_bound, memory_bound))
+
+
+def test_kernel_time_scales_with_sms():
+    env = Environment()
+    gpu = GPU(env, GPUConfig(), arena_bytes=1 * MiB)
+    full = gpu.kernel_time(flops=1e12, sms=108)
+    half = gpu.kernel_time(flops=1e12, sms=54)
+    assert half == pytest.approx(
+        (full - gpu.config.kernel_launch_overhead) * 2
+        + gpu.config.kernel_launch_overhead
+    )
+
+
+def test_sm_reservation_starves_kernels():
+    """A BaM-style I/O engine holding SMs slows concurrent kernels."""
+    env = Environment()
+    gpu = GPU(env, GPUConfig(), arena_bytes=1 * MiB)
+    durations = {}
+
+    def hog_then_measure():
+        grants = yield from gpu.reserve_sms(100)  # leave 8 free
+        start = env.now
+        yield from gpu.launch_kernel(flops=1e10)
+        durations["contended"] = env.now - start
+        gpu.release_sms(grants)
+        start = env.now
+        yield from gpu.launch_kernel(flops=1e10)
+        durations["free"] = env.now - start
+
+    env.run(env.process(hog_then_measure()))
+    assert durations["contended"] > durations["free"] * 5
+
+
+def test_sm_utilization_tracked():
+    env = Environment()
+    gpu = GPU(env, GPUConfig(), arena_bytes=1 * MiB)
+
+    def proc():
+        grants = yield from gpu.reserve_sms(54)
+        yield env.timeout(1.0)
+        gpu.release_sms(grants)
+        yield env.timeout(1.0)
+
+    env.run(env.process(proc()))
+    assert gpu.sm_utilization() == pytest.approx(0.25)  # 54/108 for half
+
+
+# --- copy engine -----------------------------------------------------------
+
+def test_memcpy_call_overhead_dominates_small_copies():
+    env = Environment()
+    gpu = GPU(env, GPUConfig(), arena_bytes=1 * MiB)
+
+    def proc():
+        start = env.now
+        yield from gpu.memcpy(4096, calls=1)
+        one_call = env.now - start
+        start = env.now
+        yield from gpu.memcpy(4096 * 32, calls=32)
+        many_calls = env.now - start
+        return one_call, many_calls
+
+    one_call, many_calls = env.run(env.process(proc()))
+    # 32 calls pay 32x the fixed overhead
+    assert many_calls > 25 * one_call * 0.8
+    assert gpu.memcpy_calls.total == 33
+
+
+def test_memcpy_serializes_on_copy_engine():
+    env = Environment()
+    gpu = GPU(env, GPUConfig(), arena_bytes=1 * MiB)
+    finish = []
+
+    def copier():
+        yield from gpu.memcpy(0, calls=1)  # pure overhead
+        finish.append(env.now)
+
+    env.process(copier())
+    env.process(copier())
+    env.run()
+    overhead = gpu.config.memcpy_call_overhead
+    assert finish[0] == pytest.approx(overhead)
+    assert finish[1] == pytest.approx(2 * overhead)  # engine is serial

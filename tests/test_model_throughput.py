@@ -1,0 +1,147 @@
+"""Tests for the analytic throughput model — the paper's shapes in
+closed form."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.model.throughput import (
+    BACKENDS,
+    ThroughputModel,
+    device_iops,
+    pcie_payload_bandwidth,
+)
+from repro.units import KiB, MiB, gb_per_s
+
+MODEL = ThroughputModel(PlatformConfig())
+
+
+def test_device_iops_calibration():
+    ssd = PlatformConfig().ssd
+    read = device_iops(ssd, 4 * KiB, False)
+    write = device_iops(ssd, 4 * KiB, True)
+    assert 550_000 < read <= 700_000
+    assert 130_000 < write <= 170_000
+
+
+def test_device_bandwidth_approaches_sequential():
+    ssd = PlatformConfig().ssd
+    big = device_iops(ssd, MiB, False) * MiB
+    assert big == pytest.approx(gb_per_s(6.5), rel=0.15)
+
+
+def test_device_iops_rejects_bad_granularity():
+    with pytest.raises(ConfigurationError):
+        device_iops(PlatformConfig().ssd, 0, False)
+
+
+def test_pcie_payload_bandwidth_shape():
+    config = PlatformConfig()
+    small = pcie_payload_bandwidth(config, 512)
+    large = pcie_payload_bandwidth(config, MiB)
+    assert small < large < config.pcie.bandwidth
+
+
+def test_headline_20gb_point():
+    """12 SSDs at 4 KiB: ~20 GB/s for the kernel-bypass planes."""
+    for name in ("cam", "spdk", "bam"):
+        value = MODEL.throughput(name, 4 * KiB, False,
+                                 cores=12 if name == "cam" else None)
+        assert gb_per_s(18) < value < gb_per_s(21), name
+
+
+def test_posix_far_below():
+    assert MODEL.throughput("posix", 4 * KiB, False) < gb_per_s(3)
+
+
+def test_read_exceeds_write_everywhere():
+    for name in BACKENDS:
+        read = MODEL.throughput(name, 4 * KiB, False)
+        write = MODEL.throughput(name, 4 * KiB, True)
+        assert write <= read, name
+
+
+def test_throughput_monotone_in_granularity():
+    for name in ("cam", "spdk", "posix"):
+        values = [
+            MODEL.throughput(name, g, False)
+            for g in (512, 4 * KiB, 64 * KiB, MiB)
+        ]
+        assert all(b >= a * 0.999 for a, b in zip(values, values[1:])), name
+
+
+def test_throughput_monotone_in_ssd_count():
+    for name in ("cam", "spdk", "bam"):
+        values = [
+            MODEL.throughput(name, 4 * KiB, False, num_ssds=n,
+                             cores=n if name == "cam" else None)
+            for n in (1, 2, 4, 8, 12)
+        ]
+        assert all(b >= a * 0.999 for a, b in zip(values, values[1:])), name
+
+
+def test_fig12_75_percent_point():
+    full = MODEL.throughput("cam", 4 * KiB, False, cores=12)
+    three = MODEL.throughput("cam", 4 * KiB, False, cores=3)
+    assert three / full == pytest.approx(0.72, abs=0.06)
+    six = MODEL.throughput("cam", 4 * KiB, False, cores=6)
+    assert six == pytest.approx(full, rel=0.01)
+
+
+def test_fig15_dram_channel_limit():
+    two = MODEL.throughput("spdk", 128 * KiB, False, dram_channels=2)
+    sixteen = MODEL.throughput("spdk", 128 * KiB, False, dram_channels=16)
+    assert two == pytest.approx(gb_per_s(10.0))  # dram_bw/2 binding
+    assert sixteen > gb_per_s(18)
+    # CAM untouched by channel count
+    cam_two = MODEL.throughput("cam", 128 * KiB, False, dram_channels=2)
+    cam_sixteen = MODEL.throughput("cam", 128 * KiB, False,
+                                   dram_channels=16)
+    assert cam_two == cam_sixteen
+
+
+def test_fig16_discontiguous_collapse():
+    spdk = MODEL.throughput("spdk", 4 * KiB, False, contiguous_dest=False)
+    cam = MODEL.throughput("cam", 4 * KiB, False)
+    assert spdk == pytest.approx(gb_per_s(1.3), rel=0.1)  # paper: 1.3 GB/s
+    assert 1 - spdk / cam == pytest.approx(0.935, abs=0.02)  # paper: 93.5%
+
+
+def test_gds_near_paper_level():
+    value = MODEL.throughput("gds", 128 * KiB, False)
+    assert gb_per_s(0.6) < value < gb_per_s(1.1)  # paper: ~0.8
+
+
+def test_io_time_includes_latency():
+    zero = MODEL.io_time("cam", 0)
+    assert zero == 0.0
+    tiny = MODEL.io_time("cam", 4096)
+    assert tiny > 15e-6  # at least a device latency
+
+
+def test_io_time_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        MODEL.io_time("cam", -1)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigurationError):
+        MODEL.throughput("turbofs", 4096, False)
+    with pytest.raises(ConfigurationError):
+        MODEL.control_rate("turbofs", 4096, False)
+
+
+def test_dram_usage_rule():
+    assert MODEL.dram_usage("spdk", 10.0) == 20.0
+    assert MODEL.dram_usage("posix", 10.0) == 20.0
+    assert MODEL.dram_usage("cam", 10.0) == 0.0
+    assert MODEL.dram_usage("bam", 10.0) == 0.0
+
+
+def test_bam_control_capped_by_gpu():
+    """BaM's control rate saturates at 108 SMs worth of IOPS."""
+    config = PlatformConfig()
+    rate_12 = MODEL.control_rate("bam", 4 * KiB, False, num_ssds=12)
+    assert rate_12 == pytest.approx(
+        config.gpu.num_sms * config.bam.iops_per_sm
+    )

@@ -1,0 +1,108 @@
+"""Unit tests for NVMe queue pairs."""
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.hw.nvme import CQE, SQE, NVMeOpcode, QueuePair
+from repro.sim import Environment
+
+
+def test_opcode_write_flag():
+    assert NVMeOpcode.WRITE.is_write
+    assert not NVMeOpcode.READ.is_write
+    assert not NVMeOpcode.FLUSH.is_write
+
+
+def test_command_ids_unique():
+    a = SQE(NVMeOpcode.READ, lba=0, num_blocks=1)
+    b = SQE(NVMeOpcode.READ, lba=0, num_blocks=1)
+    assert a.command_id != b.command_id
+
+
+def test_sqe_nbytes():
+    sqe = SQE(NVMeOpcode.READ, lba=0, num_blocks=8)
+    assert sqe.nbytes(512) == 4096
+
+
+def test_submit_and_complete_roundtrip():
+    env = Environment()
+    qp = QueuePair(env, qid=0, depth=4)
+    sqe = SQE(NVMeOpcode.READ, lba=10, num_blocks=8)
+
+    def device():
+        got = yield qp.sq.get()
+        assert got.lba == 10
+        qp.post_completion(CQE(command_id=got.command_id))
+
+    def host():
+        yield qp.submit(sqe)
+        cqe = yield qp.pop_completion()
+        return cqe
+
+    env.process(device())
+    cqe = env.run(env.process(host()))
+    assert cqe.command_id == sqe.command_id
+    assert cqe.ok
+
+
+def test_inflight_counts_submitted_not_completed():
+    env = Environment()
+    qp = QueuePair(env, qid=0, depth=4)
+
+    def host():
+        yield qp.submit(SQE(NVMeOpcode.READ, lba=0, num_blocks=1))
+        yield qp.submit(SQE(NVMeOpcode.READ, lba=1, num_blocks=1))
+        assert qp.inflight == 2
+        sqe = yield qp.sq.get()
+        qp.post_completion(CQE(command_id=sqe.command_id))
+        assert qp.inflight == 1
+
+    env.run(env.process(host()))
+
+
+def test_try_submit_respects_depth():
+    env = Environment()
+    qp = QueuePair(env, qid=0, depth=2)
+    assert qp.try_submit(SQE(NVMeOpcode.READ, lba=0, num_blocks=1))
+    assert qp.try_submit(SQE(NVMeOpcode.READ, lba=1, num_blocks=1))
+    assert not qp.try_submit(SQE(NVMeOpcode.READ, lba=2, num_blocks=1))
+    assert qp.sq_occupancy == 2
+
+
+def test_require_slot_raises_when_full():
+    env = Environment()
+    qp = QueuePair(env, qid=0, depth=1)
+    qp.try_submit(SQE(NVMeOpcode.READ, lba=0, num_blocks=1))
+    with pytest.raises(QueueFullError):
+        qp.require_slot()
+
+
+def test_try_pop_completion_non_blocking():
+    env = Environment()
+    qp = QueuePair(env, qid=0, depth=4)
+    assert qp.try_pop_completion() is None
+    qp.post_completion(CQE(command_id=7))
+    cqe = qp.try_pop_completion()
+    assert cqe is not None and cqe.command_id == 7
+
+
+def test_blocking_submit_backpressures():
+    env = Environment()
+    qp = QueuePair(env, qid=0, depth=1)
+    log = []
+
+    def host():
+        yield qp.submit(SQE(NVMeOpcode.READ, lba=0, num_blocks=1))
+        log.append(("first", env.now))
+        yield qp.submit(SQE(NVMeOpcode.READ, lba=1, num_blocks=1))
+        log.append(("second", env.now))
+
+    def device():
+        yield env.timeout(5.0)
+        yield qp.sq.get()  # frees a slot
+
+    env.process(host())
+    env.process(device())
+    env.run()
+    assert log[0] == ("first", 0.0)
+    assert log[1][1] == pytest.approx(5.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the EXT4-like file system model."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.oskernel.filesystem import Ext4FileSystem, Extent, FileHandle
+
+
+def test_extent_mapping():
+    extent = Extent(file_block=10, lba=100, num_blocks=5)
+    assert extent.covers(12)
+    assert not extent.covers(15)
+    assert extent.map_block(12) == 102
+    with pytest.raises(FileSystemError):
+        extent.map_block(15)
+
+
+def test_contiguous_file_lookup():
+    fs = Ext4FileSystem(total_blocks=1000, block_size=512)
+    handle = fs.create_file("data.bin", size_bytes=512 * 100)
+    runs = handle.lookup(0, 512 * 10)
+    assert runs == [(0, 10)]
+    assert handle.fragment_count == 1
+
+
+def test_lookup_mid_file_offset():
+    fs = Ext4FileSystem(total_blocks=1000, block_size=512)
+    handle = fs.create_file("data.bin", size_bytes=512 * 100)
+    runs = handle.lookup(512 * 50 + 100, 600)
+    # bytes [25700, 26300) touch blocks 50 and 51
+    assert runs == [(50, 2)]
+
+
+def test_fragmented_file_has_multiple_runs():
+    fs = Ext4FileSystem(total_blocks=1000, block_size=512)
+    handle = fs.create_file("aged.bin", size_bytes=512 * 64, fragments=4)
+    assert handle.fragment_count == 4
+    runs = handle.lookup(0, 512 * 64)
+    assert len(runs) == 4
+    # total blocks covered must equal the file
+    assert sum(blocks for _, blocks in runs) == 64
+
+
+def test_lookup_out_of_range_rejected():
+    fs = Ext4FileSystem(total_blocks=1000, block_size=512)
+    handle = fs.create_file("data.bin", size_bytes=512 * 10)
+    with pytest.raises(FileSystemError):
+        handle.lookup(512 * 9, 1024)
+    with pytest.raises(FileSystemError):
+        handle.lookup(-1, 10)
+
+
+def test_lookup_zero_bytes():
+    fs = Ext4FileSystem(total_blocks=1000, block_size=512)
+    handle = fs.create_file("data.bin", size_bytes=512 * 10)
+    assert handle.lookup(0, 0) == []
+
+
+def test_duplicate_file_rejected():
+    fs = Ext4FileSystem(total_blocks=1000)
+    fs.create_file("x", size_bytes=512)
+    with pytest.raises(FileSystemError):
+        fs.create_file("x", size_bytes=512)
+
+
+def test_open_and_unlink():
+    fs = Ext4FileSystem(total_blocks=1000)
+    fs.create_file("x", size_bytes=512)
+    assert fs.open("x").name == "x"
+    fs.unlink("x")
+    with pytest.raises(FileSystemError):
+        fs.open("x")
+
+
+def test_filesystem_full():
+    fs = Ext4FileSystem(total_blocks=10, block_size=512)
+    fs.create_file("big", size_bytes=512 * 10)
+    with pytest.raises(FileSystemError, match="full"):
+        fs.create_file("more", size_bytes=512)
+
+
+def test_lookup_cost_scales_with_runs():
+    fs = Ext4FileSystem(total_blocks=1000)
+    handle = fs.create_file("f", size_bytes=512 * 8, fragments=2)
+    assert fs.lookup_cost(handle, runs=1) == 1.0
+    assert fs.lookup_cost(handle, runs=4) == 4.0
+
+
+def test_files_do_not_overlap_on_disk():
+    fs = Ext4FileSystem(total_blocks=1000)
+    a = fs.create_file("a", size_bytes=512 * 10)
+    b = fs.create_file("b", size_bytes=512 * 10)
+    a_blocks = {
+        lba
+        for extent in a.extents
+        for lba in range(extent.lba, extent.lba + extent.num_blocks)
+    }
+    b_blocks = {
+        lba
+        for extent in b.extents
+        for lba in range(extent.lba, extent.lba + extent.num_blocks)
+    }
+    assert not (a_blocks & b_blocks)

@@ -1,0 +1,114 @@
+"""Tests for the kernel I/O stacks: Fig. 2 ordering and Fig. 3 breakdown."""
+
+import pytest
+
+from repro.backends import make_backend, measure_throughput
+from repro.config import PlatformConfig
+from repro.hw.platform import Platform
+from repro.model.throughput import ThroughputModel, device_iops
+from repro.oskernel.stacks import LayerBreakdown
+from repro.errors import SimulationError
+
+
+def _measure(stack_name, is_write=False, requests=300):
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    backend = make_backend(stack_name, platform)
+    throughput = measure_throughput(
+        backend,
+        granularity=4096,
+        is_write=is_write,
+        total_requests=requests,
+        concurrency=backend.concurrency,
+    )
+    return throughput, backend.stack
+
+
+def test_fig2_read_ordering():
+    """POSIX < libaio < io_uring int < io_uring poll < SSD max."""
+    values = {}
+    for name in ("posix", "libaio", "io_uring int", "io_uring poll"):
+        values[name], _ = _measure(name)
+    assert values["posix"] < values["libaio"]
+    assert values["libaio"] < values["io_uring int"]
+    assert values["io_uring int"] < values["io_uring poll"]
+    ssd_max = device_iops(PlatformConfig().ssd, 4096, False) * 4096
+    assert values["io_uring poll"] < 0.6 * ssd_max  # "far below"
+
+
+def test_fig2_write_ordering():
+    values = {}
+    for name in ("posix", "libaio", "io_uring poll"):
+        values[name], _ = _measure(name, is_write=True, requests=200)
+    assert values["posix"] < values["libaio"] <= values["io_uring poll"]
+    ssd_max = device_iops(PlatformConfig().ssd, 4096, True) * 4096
+    assert values["io_uring poll"] <= ssd_max * 1.01
+
+
+def test_write_slower_than_read_per_stack():
+    for name in ("posix", "libaio"):
+        read, _ = _measure(name, is_write=False, requests=200)
+        write, _ = _measure(name, is_write=True, requests=200)
+        assert write < read
+
+
+def test_fig3_kernel_overhead_exceeds_34_percent():
+    """The paper's >34% fs+iomap claim holds for every stack."""
+    for name in ("posix", "libaio", "io_uring int", "io_uring poll"):
+        _, stack = _measure(name, requests=150)
+        assert stack.breakdown.kernel_overhead_fraction() > 0.34, name
+
+
+def test_breakdown_fractions_sum_to_one():
+    _, stack = _measure("posix", requests=100)
+    assert sum(stack.breakdown.fractions().values()) == pytest.approx(1.0)
+
+
+def test_layer_breakdown_rejects_unknown_layer():
+    breakdown = LayerBreakdown()
+    with pytest.raises(SimulationError):
+        breakdown.charge("turbo", 1.0)
+
+
+def test_breakdown_empty_is_zero():
+    breakdown = LayerBreakdown()
+    assert breakdown.kernel_overhead_fraction() == 0.0
+
+
+def test_des_matches_model_for_kernel_stacks():
+    """The per-request simulation and the closed-form model agree."""
+    model = ThroughputModel(PlatformConfig(num_ssds=1))
+    for name in ("libaio", "io_uring poll"):
+        measured, _ = _measure(name, requests=400)
+        predicted = model.throughput(name, 4096, False, num_ssds=1,
+                                     to_gpu=False)
+        assert measured == pytest.approx(predicted, rel=0.1), name
+
+
+def test_posix_threads_scale_throughput():
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    two = make_backend("posix", platform, threads=2)
+    low = measure_throughput(two, 4096, total_requests=200, concurrency=2)
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    eight = make_backend("posix", platform, threads=8)
+    high = measure_throughput(eight, 4096, total_requests=400, concurrency=8)
+    assert high > 2.5 * low
+
+
+def test_functional_read_lands_in_host_buffer():
+    import numpy as np
+
+    from repro.hw.buffers import HostBuffer
+    from repro.workloads.vdisk import VirtualDisk
+
+    platform = Platform(PlatformConfig(num_ssds=1))
+    vdisk = VirtualDisk(platform)
+    payload = np.arange(4096, dtype=np.uint8) % 199
+    vdisk.write_direct(0, payload)
+    backend = make_backend("posix", platform)
+    target = HostBuffer(4096)
+
+    def proc():
+        yield from backend.io(0, 4096, target=target)
+
+    platform.env.run(platform.env.process(proc()))
+    assert np.array_equal(target.read_bytes(0, 4096), payload)

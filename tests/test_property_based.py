@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.gpu import GPUMemory
+from repro.hw.ssd import BlockStore
+from repro.oskernel.filesystem import Ext4FileSystem
+from repro.sim import Environment, Resource, Store
+from repro.units import KiB
+from repro.workloads.gnn.graph import CSRGraph
+
+# --- BlockStore vs a reference byte array ------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.integers(min_value=0, max_value=200_000),
+        st.integers(min_value=1, max_value=5000),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(ops=_ops, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_blockstore_matches_reference_array(ops, seed):
+    capacity = 256_000
+    store = BlockStore(capacity)
+    reference = np.zeros(capacity, dtype=np.uint8)
+    rng = np.random.default_rng(seed)
+    for kind, offset, size in ops:
+        if offset + size > capacity:
+            size = capacity - offset
+            if size <= 0:
+                continue
+        if kind == "write":
+            data = rng.integers(0, 256, size=size, dtype=np.uint8)
+            store.write(offset, data)
+            reference[offset : offset + size] = data
+        else:
+            got = store.read(offset, size)
+            assert np.array_equal(got, reference[offset : offset + size])
+
+
+# --- GPU allocator invariants -----------------------------------------------
+
+@given(
+    sizes=st.lists(st.integers(1, 64 * KiB), min_size=1, max_size=25),
+    free_mask=st.lists(st.booleans(), min_size=25, max_size=25),
+)
+@settings(max_examples=60, deadline=None)
+def test_gpu_allocator_never_overlaps_and_conserves(sizes, free_mask):
+    memory = GPUMemory(capacity=4 << 20, arena_bytes=4 << 20)
+    live = []
+    for index, size in enumerate(sizes):
+        buffer = memory.alloc(size)
+        live.append(buffer)
+        if free_mask[index % len(free_mask)] and live:
+            victim = live.pop(0)
+            memory.free(victim)
+        # invariant: live buffers never overlap
+        ranges = sorted((b.offset, b.offset + b.size) for b in live)
+        for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2
+        # invariant: used + free == arena
+        used = sum(b.size for b in live)
+        assert used == memory.bytes_in_use
+        assert memory.free_bytes + used == 4 << 20
+
+
+# --- file-system extent mapping ----------------------------------------------
+
+@given(
+    size_blocks=st.integers(1, 500),
+    fragments=st.integers(1, 20),
+    offset_frac=st.floats(0, 0.99),
+    len_frac=st.floats(0.01, 1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_extent_lookup_covers_exact_byte_range(
+    size_blocks, fragments, offset_frac, len_frac
+):
+    fs = Ext4FileSystem(total_blocks=100_000, block_size=512)
+    size = size_blocks * 512
+    handle = fs.create_file("f", size_bytes=size, fragments=fragments)
+    offset = int(offset_frac * size)
+    nbytes = max(1, min(size - offset, int(len_frac * size)))
+    runs = handle.lookup(offset, nbytes)
+    first = offset // 512
+    last = (offset + nbytes - 1) // 512
+    covered = sum(blocks for _, blocks in runs)
+    assert covered == last - first + 1
+    # runs are non-overlapping device ranges
+    spans = sorted((lba, lba + blocks) for lba, blocks in runs)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+# --- engine: resource conservation --------------------------------------------
+
+@given(
+    capacity=st.integers(1, 5),
+    holds=st.lists(st.floats(0.01, 2.0), min_size=1, max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    peak = {"value": 0}
+
+    def user(duration):
+        with resource.request() as req:
+            yield req
+            peak["value"] = max(peak["value"], resource.count)
+            assert resource.count <= capacity
+            yield env.timeout(duration)
+
+    for duration in holds:
+        env.process(user(duration))
+    env.run()
+    assert peak["value"] <= capacity
+    assert resource.count == 0
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == items
+
+
+# --- CSR construction ---------------------------------------------------------
+
+@given(
+    num_nodes=st.integers(2, 50),
+    edges=st.lists(
+        st.tuples(st.integers(0, 49), st.integers(0, 49)),
+        min_size=0,
+        max_size=200,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_csr_from_edges_preserves_multiset(num_nodes, edges):
+    edges = [(s % num_nodes, d % num_nodes) for s, d in edges]
+    src = np.array([s for s, _ in edges], dtype=np.int64)
+    dst = np.array([d for _, d in edges], dtype=np.int64)
+    graph = CSRGraph.from_edges(num_nodes, src, dst)
+    assert graph.num_edges == len(edges)
+    rebuilt = []
+    for node in range(num_nodes):
+        for neighbor in graph.neighbors(node):
+            rebuilt.append((node, int(neighbor)))
+    assert sorted(rebuilt) == sorted(edges)
+
+
+# --- sort workload: any input comes out sorted ---------------------------------
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=5, deadline=None)
+def test_out_of_core_sort_random_inputs(seed):
+    from repro.workloads.sort import sort_with_backend
+
+    outcome = sort_with_backend(
+        "cam",
+        num_elements=1 << 14,
+        chunk_bytes=16 * KiB,
+        granularity=16 * KiB,
+        num_ssds=2,
+        seed=seed,
+    )
+    assert outcome.verified

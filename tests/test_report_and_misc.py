@@ -1,0 +1,193 @@
+"""Breadth tests: report rendering, buffers, error hierarchy, stats."""
+
+import numpy as np
+import pytest
+
+import repro.errors as errors_module
+from repro.config import PlatformConfig, SSDConfig
+from repro.errors import AllocationError, ReproError
+from repro.experiments.report import ExperimentResult, Table, format_value
+from repro.hw.buffers import HostBuffer
+from repro.hw.nvme import SQE, NVMeOpcode
+from repro.hw.platform import Platform
+from repro.hw.ssd import SSD
+from repro.sim import Environment
+
+
+# --- report rendering --------------------------------------------------------
+
+def test_format_value_floats():
+    assert format_value(0.0) == "0"
+    assert format_value(1234.5) == "1,234"
+    assert format_value(42.42) == "42.4"
+    assert format_value(1.2345) == "1.234"
+    assert format_value(True) == "yes"
+    assert format_value("text") == "text"
+
+
+def test_table_render_layout():
+    table = Table("demo", ["name", "value"])
+    table.add_row("alpha", 1.5)
+    table.add_row("b", 20.0)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[2] and "value" in lines[2]
+    assert "alpha" in text and "20.0" in text
+
+
+def test_experiment_result_render_includes_everything():
+    result = ExperimentResult(
+        exp_id="figXX", title="Demo", paper_expectation="something"
+    )
+    table = result.add_table(Table("panel", ["a"]))
+    table.add_row(1)
+    result.note("a caveat")
+    text = result.render()
+    assert "figXX" in text
+    assert "paper expects: something" in text
+    assert "note: a caveat" in text
+    assert result.table("panel") is table
+
+
+def test_experiment_result_missing_table():
+    result = ExperimentResult(exp_id="x", title="t")
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        result.table("nope")
+
+
+# --- host buffer -------------------------------------------------------------
+
+def test_host_buffer_roundtrip_and_bounds():
+    buffer = HostBuffer(4096)
+    data = np.arange(100, dtype=np.uint8)
+    buffer.write_bytes(500, data)
+    assert np.array_equal(buffer.read_bytes(500, 100), data)
+    with pytest.raises(AllocationError):
+        buffer.write_bytes(4090, data)
+    with pytest.raises(AllocationError):
+        buffer.read_bytes(0, 5000)
+    with pytest.raises(AllocationError):
+        HostBuffer(0)
+
+
+def test_host_buffer_typed_view():
+    buffer = HostBuffer(4096)
+    values = np.arange(1024, dtype=np.int32)
+    buffer.write_bytes(0, values)
+    assert np.array_equal(buffer.view(np.int32), values)
+
+
+# --- error hierarchy --------------------------------------------------------
+
+def test_every_library_error_subclasses_reproerror():
+    for name in dir(errors_module):
+        obj = getattr(errors_module, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not ReproError:
+                assert issubclass(obj, ReproError), name
+
+
+def test_process_interrupt_carries_cause():
+    from repro.errors import ProcessInterrupt
+
+    interrupt = ProcessInterrupt(cause={"reason": "test"})
+    assert interrupt.cause == {"reason": "test"}
+
+
+# --- SSD stats and reset ------------------------------------------------------
+
+def _drive_reads(env, ssd, count):
+    qp = ssd.create_queue_pair()
+
+    def proc():
+        for index in range(count):
+            yield qp.submit(SQE(NVMeOpcode.READ, lba=index * 8,
+                                num_blocks=8))
+        for _ in range(count):
+            yield qp.pop_completion()
+
+    env.run(env.process(proc()))
+
+
+def test_ssd_reset_stats_restarts_window():
+    env = Environment()
+    ssd = SSD(env, SSDConfig(), pcie=None, functional=False)
+    _drive_reads(env, ssd, 20)
+    assert ssd.reads_completed.total == 20
+    ssd.reset_stats()
+    assert ssd.reads_completed.total == 0
+    assert ssd.read_latency.count == 0
+    _drive_reads(env, ssd, 5)
+    assert ssd.reads_completed.total == 5
+
+
+def test_ssd_latency_percentiles_recorded():
+    env = Environment()
+    ssd = SSD(env, SSDConfig(), pcie=None, functional=False)
+    _drive_reads(env, ssd, 50)
+    p50 = ssd.read_latency.percentile(50)
+    p99 = ssd.read_latency.percentile(99)
+    assert 15e-6 < p50 <= p99
+
+
+def test_platform_reset_stats_covers_all_devices():
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    _drive_reads(platform.env, platform.ssds[0], 5)
+    assert platform.aggregate_read_throughput() > 0
+    platform.reset_stats()
+    assert platform.ssds[0].reads_completed.total == 0
+    assert platform.pcie.link.bytes_moved.total == 0
+
+
+# --- manager statistics -------------------------------------------------------
+
+def test_cam_manager_counters():
+    from repro.core import CamContext
+
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    context = CamContext(platform)
+    buffer = context.alloc(64 * 1024)
+    api = context.device_api()
+    lbas = np.arange(8, dtype=np.int64) * 8
+
+    def kernel():
+        for _ in range(3):
+            yield from api.prefetch(lbas, buffer, 4096)
+            yield from api.prefetch_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    manager = context.manager
+    assert manager.batches_done.total == 3
+    assert manager.requests_done.total == 24
+    assert manager.bytes_done.total == 24 * 4096
+    assert manager.batch_io_time.count == 3
+    assert manager.achieved_throughput() > 0
+
+
+def test_spdk_driver_handle_accessors():
+    from repro.errors import ConfigurationError
+    from repro.spdk import SpdkDriver
+
+    platform = Platform(PlatformConfig(num_ssds=3), functional=False)
+    driver = SpdkDriver(platform)
+    handle = driver.handle(2)
+    assert handle.ssd_index == 2
+    with pytest.raises(ConfigurationError):
+        driver.handle(3)
+
+
+def test_set_active_reactors_validation():
+    from repro.core import CamManager
+    from repro.errors import ConfigurationError
+
+    platform = Platform(PlatformConfig(num_ssds=4), functional=False)
+    manager = CamManager(platform)
+    with pytest.raises(ConfigurationError):
+        manager.set_active_reactors(0)
+    with pytest.raises(ConfigurationError):
+        manager.set_active_reactors(99)
+    manager.set_active_reactors(1)
+    assert manager.active_reactors == 1

@@ -1,0 +1,206 @@
+"""Deeper engine edge cases: failure paths, interrupts, determinism."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim import AnyOf, Environment, Resource, Store
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def crasher():
+        yield env.timeout(1.0)
+        raise KeyError("lost")
+
+    def waiter():
+        try:
+            yield env.process(crasher())
+        except KeyError as exc:
+            return f"caught {exc}"
+
+    assert env.run(env.process(waiter())) == "caught 'lost'"
+
+
+def test_anyof_fails_if_any_child_fails_first():
+    env = Environment()
+
+    def crasher():
+        yield env.timeout(1.0)
+        raise ValueError("bad")
+
+    def waiter():
+        with pytest.raises(ValueError):
+            yield AnyOf(env, [env.process(crasher()), env.timeout(5.0)])
+        return "ok"
+
+    assert env.run(env.process(waiter())) == "ok"
+
+
+def test_interrupt_during_resource_wait_releases_cleanly():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def holder():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def impatient():
+        request = resource.request()
+        try:
+            yield request
+        except ProcessInterrupt:
+            request.cancel()
+            log.append("gave up")
+        return "done"
+
+    env.process(holder())
+    victim = env.process(impatient())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    env.process(interrupter())
+    env.run(victim)
+    assert log == ["gave up"]
+    # the queue must not retain the cancelled request
+    assert resource.queued == 0
+
+
+def test_interrupted_process_can_continue_working():
+    env = Environment()
+
+    def worker():
+        total = 0.0
+        try:
+            yield env.timeout(100.0)
+        except ProcessInterrupt:
+            pass
+        yield env.timeout(2.0)  # resumes normal operation
+        total = env.now
+        return total
+
+    process = env.process(worker())
+
+    def interrupter():
+        yield env.timeout(3.0)
+        process.interrupt()
+
+    env.process(interrupter())
+    assert env.run(process) == pytest.approx(5.0)
+
+
+def test_simultaneous_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c", "d"):
+        env.process(proc(name))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_determinism_across_runs():
+    """Two identical simulations produce identical event sequences."""
+
+    def build_and_run():
+        env = Environment()
+        store = Store(env, capacity=2)
+        log = []
+
+        def producer():
+            for item in range(5):
+                yield store.put(item)
+                yield env.timeout(0.5)
+
+        def consumer(name, delay):
+            while True:
+                item = yield store.get()
+                log.append((name, item, env.now))
+                yield env.timeout(delay)
+
+        env.process(producer())
+        env.process(consumer("x", 0.7))
+        env.process(consumer("y", 1.1))
+        env.run(until=10.0)
+        return log
+
+    assert build_and_run() == build_and_run()
+
+
+def test_run_until_untriggered_event_with_empty_heap():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError, match="ran out of events"):
+        env.run(until=event)
+
+
+def test_step_on_empty_heap_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(3.5)
+    assert env.peek() == pytest.approx(3.5)
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    process = env.process(proc())
+    assert process.is_alive
+    env.run(process)
+    assert not process.is_alive
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_nested_process_chains():
+    env = Environment()
+
+    def level3():
+        yield env.timeout(1.0)
+        return 3
+
+    def level2():
+        value = yield env.process(level3())
+        yield env.timeout(1.0)
+        return value + 2
+
+    def level1():
+        value = yield env.process(level2())
+        return value + 1
+
+    assert env.run(env.process(level1())) == 6
+    assert env.now == pytest.approx(2.0)
+
+
+def test_events_processed_counter():
+    env = Environment()
+    assert env.events_processed == 0
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.run(env.process(proc()))
+    # 1 init + 10 timeouts + 1 process-completion event
+    assert env.events_processed == 12

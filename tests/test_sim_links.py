@@ -1,0 +1,120 @@
+"""Unit tests for the bandwidth link model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BandwidthLink, Environment
+from repro.units import GB, KiB, MiB, US
+
+
+def test_single_transfer_time():
+    env = Environment()
+    link = BandwidthLink(env, "test", bandwidth=1 * GB)
+
+    def proc():
+        yield from link.transfer(100 * 1000 * 1000)  # 100 MB at 1 GB/s
+        return env.now
+
+    assert env.run(env.process(proc())) == pytest.approx(0.1)
+
+
+def test_concurrent_transfers_share_bandwidth():
+    env = Environment()
+    link = BandwidthLink(env, "test", bandwidth=1 * GB, chunk_bytes=1 * MiB)
+    done = []
+
+    def proc(name):
+        yield from link.transfer(50 * 1000 * 1000)
+        done.append((name, env.now))
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    # total 100 MB over a 1 GB/s pipe: both finish around 0.1 s
+    assert done[-1][1] == pytest.approx(0.1, rel=0.05)
+
+
+def test_chunking_interleaves_fairly():
+    env = Environment()
+    link = BandwidthLink(env, "test", bandwidth=1 * GB, chunk_bytes=1 * MiB)
+    done = {}
+
+    def proc(name, nbytes):
+        yield from link.transfer(nbytes)
+        done[name] = env.now
+
+    env.process(proc("big", 100 * 1000 * 1000))
+    env.process(proc("small", 1 * 1000 * 1000))
+    env.run()
+    # the small transfer must not wait for the whole big one
+    assert done["small"] < 0.1 * done["big"] + 0.01
+
+
+def test_header_overhead_reduces_effective_bandwidth():
+    env = Environment()
+    link = BandwidthLink(
+        env,
+        "pcie",
+        bandwidth=21 * GB,
+        header_bytes=24,
+        max_payload=256,
+        transaction_bytes=48,
+    )
+    small = link.effective_bandwidth(512)
+    large = link.effective_bandwidth(128 * KiB)
+    assert small < large
+    # efficiency approaches 256 / 280 for large, fully packed payloads
+    assert large == pytest.approx(21 * GB * 256 / 280, rel=1e-3)
+
+
+def test_overhead_time_applied_once():
+    env = Environment()
+    link = BandwidthLink(env, "l", bandwidth=1 * GB, overhead_time=5 * US)
+
+    def proc():
+        yield from link.transfer(1000)
+        return env.now
+
+    expected = 5 * US + 1000 / (1 * GB)
+    assert env.run(env.process(proc())) == pytest.approx(expected)
+
+
+def test_throughput_accounting():
+    env = Environment()
+    link = BandwidthLink(env, "l", bandwidth=1 * GB)
+
+    def proc():
+        yield from link.transfer(500 * 1000 * 1000)
+
+    env.run(env.process(proc()))
+    assert link.bytes_moved.total == 500 * 1000 * 1000
+    assert link.throughput() == pytest.approx(1 * GB, rel=0.01)
+    assert link.utilization() == pytest.approx(1.0, rel=0.01)
+
+
+def test_zero_byte_transfer_is_instant():
+    env = Environment()
+    link = BandwidthLink(env, "l", bandwidth=1 * GB)
+
+    def proc():
+        yield from link.transfer(0)
+        return env.now
+
+    assert env.run(env.process(proc())) == 0.0
+
+
+def test_negative_transfer_rejected():
+    env = Environment()
+    link = BandwidthLink(env, "l", bandwidth=1 * GB)
+
+    def proc():
+        yield from link.transfer(-1)
+
+    with pytest.raises(SimulationError):
+        env.run(env.process(proc()))
+
+
+def test_invalid_bandwidth_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        BandwidthLink(env, "l", bandwidth=0)

@@ -1,0 +1,91 @@
+"""Unit tests for the statistics collectors."""
+
+import pytest
+
+from repro.sim import Counter, Environment, TimeWeightedStat
+from repro.sim.stats import LatencyStat
+
+
+def _advance(env, dt):
+    env.process(iter([env.timeout(dt)]))
+    env.run()
+
+
+def test_time_weighted_mean():
+    env = Environment()
+    stat = TimeWeightedStat(env)
+
+    def proc():
+        stat.record(2.0)
+        yield env.timeout(1.0)
+        stat.record(4.0)
+        yield env.timeout(1.0)
+        stat.record(0.0)
+        yield env.timeout(2.0)
+
+    env.run(env.process(proc()))
+    # 2*1 + 4*1 + 0*2 over 4 seconds
+    assert stat.mean() == pytest.approx(1.5)
+    assert stat.maximum == pytest.approx(4.0)
+
+
+def test_time_weighted_add_and_reset():
+    env = Environment()
+    stat = TimeWeightedStat(env, initial=1.0)
+
+    def proc():
+        yield env.timeout(2.0)
+        stat.add(3.0)
+        stat.reset()
+        yield env.timeout(1.0)
+
+    env.run(env.process(proc()))
+    assert stat.value == pytest.approx(4.0)
+    assert stat.mean() == pytest.approx(4.0)  # window restarted
+
+
+def test_counter_rate():
+    env = Environment()
+    counter = Counter(env)
+
+    def proc():
+        counter.add(10)
+        yield env.timeout(2.0)
+        counter.add(10)
+
+    env.run(env.process(proc()))
+    assert counter.total == 20
+    assert counter.rate() == pytest.approx(10.0)
+
+
+def test_counter_rate_zero_window():
+    env = Environment()
+    counter = Counter(env)
+    counter.add(5)
+    assert counter.rate() == 0.0
+
+
+def test_latency_percentiles():
+    stat = LatencyStat()
+    for value in range(1, 101):
+        stat.record(float(value))
+    assert stat.count == 100
+    assert stat.mean() == pytest.approx(50.5)
+    assert stat.percentile(50) == pytest.approx(50.0)
+    assert stat.percentile(99) == pytest.approx(99.0)
+    assert stat.percentile(100) == pytest.approx(100.0)
+    assert stat.maximum() == pytest.approx(100.0)
+
+
+def test_latency_percentile_bounds_checked():
+    stat = LatencyStat()
+    stat.record(1.0)
+    with pytest.raises(ValueError):
+        stat.percentile(101)
+
+
+def test_latency_empty():
+    stat = LatencyStat()
+    assert stat.mean() == 0.0
+    assert stat.percentile(50) == 0.0
+    assert stat.maximum() == 0.0

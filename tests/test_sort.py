@@ -1,0 +1,150 @@
+"""Tests for the out-of-core mergesort workload."""
+
+import numpy as np
+import pytest
+
+from repro.backends import make_backend
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.units import KiB
+from repro.workloads.sort import OutOfCoreSorter, sort_with_backend
+
+
+def _sorter(backend_name="cam", num_ssds=4, chunk=256 * KiB,
+            granularity=128 * KiB):
+    platform = Platform(PlatformConfig(num_ssds=num_ssds))
+    backend = make_backend(backend_name, platform)
+    return OutOfCoreSorter(
+        platform, backend, chunk_bytes=chunk, granularity=granularity
+    )
+
+
+def _random_values(count, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        np.iinfo(np.int32).min, np.iinfo(np.int32).max,
+        size=count, dtype=np.int32,
+    )
+
+
+def test_sorts_correctly_end_to_end():
+    sorter = _sorter()
+    sorter.stage(_random_values(1 << 17))
+    outcome = sorter.run()
+    assert outcome.verified
+    assert outcome.elements == 1 << 17
+    assert outcome.merge_passes == 1  # 512 KiB over 256 KiB chunks
+
+
+def test_multiple_merge_passes():
+    sorter = _sorter(chunk=64 * KiB, granularity=64 * KiB)
+    sorter.stage(_random_values(1 << 17))  # 512 KiB -> 8 chunks -> 3 passes
+    outcome = sorter.run()
+    assert outcome.verified
+    assert outcome.merge_passes == 3
+
+
+def test_already_sorted_input():
+    sorter = _sorter()
+    sorter.stage(np.arange(1 << 16, dtype=np.int32))
+    assert sorter.run().verified
+
+
+def test_all_equal_input():
+    sorter = _sorter()
+    sorter.stage(np.full(1 << 16, 42, dtype=np.int32))
+    assert sorter.run().verified
+
+
+def test_run_without_stage_rejected():
+    sorter = _sorter()
+    with pytest.raises(ConfigurationError):
+        sorter.run()
+
+
+def test_misaligned_input_rejected():
+    sorter = _sorter()
+    with pytest.raises(ConfigurationError):
+        sorter.stage(_random_values(1000))  # not a chunk multiple
+
+
+def test_chunk_granularity_mismatch_rejected():
+    platform = Platform(PlatformConfig(num_ssds=2))
+    backend = make_backend("cam", platform)
+    with pytest.raises(ConfigurationError):
+        OutOfCoreSorter(platform, backend, chunk_bytes=100 * KiB,
+                        granularity=64 * KiB)
+
+
+def test_overlap_beats_serial_for_same_backend():
+    base = {"chunk_bytes": 256 * KiB, "granularity": 128 * KiB}
+    platform1 = Platform(PlatformConfig(num_ssds=4))
+    overlapped = OutOfCoreSorter(
+        platform1, make_backend("cam", platform1), overlap=True, **base
+    )
+    overlapped.stage(_random_values(1 << 17))
+    with_overlap = overlapped.run(verify=False).total_time
+
+    platform2 = Platform(PlatformConfig(num_ssds=4))
+    serial = OutOfCoreSorter(
+        platform2, make_backend("cam", platform2), overlap=False, **base
+    )
+    serial.stage(_random_values(1 << 17))
+    without = serial.run(verify=False).total_time
+    assert with_overlap < without
+
+
+def test_fig10a_cam_beats_posix():
+    cam = sort_with_backend("cam", num_elements=1 << 17,
+                            chunk_bytes=256 * KiB, granularity=128 * KiB)
+    posix = sort_with_backend("posix", num_elements=1 << 17,
+                              chunk_bytes=256 * KiB, granularity=128 * KiB)
+    assert cam.verified and posix.verified
+    speedup = posix.total_time / cam.total_time
+    assert 1.2 < speedup < 3.0  # paper: up to ~1.5x
+
+
+def test_fig10a_cam_matches_spdk():
+    cam = sort_with_backend("cam", num_elements=1 << 17,
+                            chunk_bytes=256 * KiB, granularity=128 * KiB)
+    spdk = sort_with_backend("spdk", num_elements=1 << 17,
+                             chunk_bytes=256 * KiB, granularity=128 * KiB)
+    assert cam.total_time == pytest.approx(spdk.total_time, rel=0.1)
+
+
+def test_timing_report_consistency():
+    outcome = sort_with_backend("cam", num_elements=1 << 16,
+                                chunk_bytes=128 * KiB,
+                                granularity=64 * KiB)
+    assert outcome.io_time > 0
+    assert outcome.compute_time > 0
+    assert outcome.total_time > 0
+    assert outcome.phase2_time <= outcome.total_time
+
+
+def test_odd_chunk_counts_sort_correctly():
+    """Non-power-of-two run counts: the trailing run carries over."""
+    for chunks in (3, 5, 7):
+        outcome = sort_with_backend(
+            "cam",
+            num_elements=chunks * 16384,
+            chunk_bytes=64 * KiB,
+            granularity=32 * KiB,
+            num_ssds=2,
+        )
+        assert outcome.verified, chunks
+
+
+def test_merge_pass_count_is_ceil_log2():
+    import math
+
+    for chunks in (2, 3, 5, 8, 9):
+        outcome = sort_with_backend(
+            "cam",
+            num_elements=chunks * 16384,
+            chunk_bytes=64 * KiB,
+            granularity=32 * KiB,
+            num_ssds=2,
+        )
+        assert outcome.merge_passes == math.ceil(math.log2(chunks)), chunks

@@ -1,0 +1,120 @@
+"""Tests for the CLI entry points and the model's explain()."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.model.throughput import ThroughputModel
+from repro.tools.capacity import main as capacity_main
+from repro.experiments.run_all import main as run_all_main
+from repro.units import KiB, gb_per_s
+
+
+# --- explain() -------------------------------------------------------------
+
+MODEL = ThroughputModel(PlatformConfig())
+
+
+def test_explain_achieved_matches_throughput():
+    for backend in ("cam", "spdk", "posix", "bam", "gds"):
+        explained = MODEL.explain(backend, 4 * KiB, False)
+        direct = MODEL.throughput(backend, 4 * KiB, False)
+        assert explained["achieved"] == pytest.approx(direct), backend
+
+
+def test_explain_identifies_dram_bottleneck():
+    explained = MODEL.explain("spdk", 128 * KiB, False, dram_channels=2)
+    assert explained["bottleneck"] == "dram (2 crossings)"
+    assert explained["achieved"] == pytest.approx(gb_per_s(10.0))
+
+
+def test_explain_identifies_copy_engine_bottleneck():
+    explained = MODEL.explain("spdk", 4 * KiB, False,
+                              contiguous_dest=False)
+    assert explained["bottleneck"] == "copy engine"
+
+
+def test_explain_identifies_control_plane_for_gds():
+    explained = MODEL.explain("gds", 128 * KiB, False)
+    assert explained["bottleneck"] == "control_plane"
+
+
+def test_explain_pcie_binds_the_headline_point():
+    explained = MODEL.explain("cam", 4 * KiB, False, cores=12)
+    assert explained["bottleneck"] in ("pcie", "control_plane")
+    assert explained["achieved"] > gb_per_s(18)
+
+
+def test_explain_unknown_backend():
+    with pytest.raises(ConfigurationError):
+        MODEL.explain("zfs")
+
+
+# --- capacity CLI ------------------------------------------------------------
+
+def test_capacity_cli_basic(capsys):
+    assert capacity_main(["--backend", "cam"]) == 0
+    out = capsys.readouterr().out
+    assert "cam: random read at 4.0KiB on 12 SSDs" in out
+    assert "GB/s" in out
+
+
+def test_capacity_cli_explain(capsys):
+    assert capacity_main(
+        ["--backend", "spdk", "--dram-channels", "2",
+         "--granularity", "131072", "--explain"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck" in out
+    assert "dram" in out
+
+
+def test_capacity_cli_write_flag(capsys):
+    assert capacity_main(["--backend", "cam", "--write"]) == 0
+    assert "random write" in capsys.readouterr().out
+
+
+def test_capacity_cli_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        capacity_main(["--backend", "zfs"])
+
+
+# --- run_all CLI ------------------------------------------------------------
+
+def test_run_all_single_experiment(capsys):
+    assert run_all_main(["fig04"]) == 0
+    out = capsys.readouterr().out
+    assert "fig04" in out
+    assert "SMs needed for saturation" in out
+
+
+def test_run_all_rejects_unknown_id():
+    with pytest.raises(SystemExit):
+        run_all_main(["fig99"])
+
+
+def test_run_all_accepts_extras_ids(capsys):
+    assert run_all_main(["ablation_datapath"]) == 0
+    assert "direct (cam)" in capsys.readouterr().out
+
+
+# --- export CLI --------------------------------------------------------------
+
+def test_export_cli_writes_csv(tmp_path, capsys):
+    from repro.tools.export import main as export_main
+
+    assert export_main(["fig04", "--out", str(tmp_path)]) == 0
+    files = sorted((tmp_path / "fig04").iterdir())
+    names = [f.name for f in files]
+    assert "notes.txt" in names
+    csv_files = [f for f in files if f.suffix == ".csv"]
+    assert csv_files
+    header = csv_files[0].read_text().splitlines()[0]
+    assert "ssds" in header
+
+
+def test_export_cli_rejects_unknown(tmp_path):
+    from repro.tools.export import main as export_main
+
+    with pytest.raises(SystemExit):
+        export_main(["fig99", "--out", str(tmp_path)])

@@ -1,0 +1,130 @@
+"""Tests for trace generation and replay."""
+
+import numpy as np
+import pytest
+
+from repro.backends import make_backend
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.units import gb_per_s
+from repro.workloads.trace import (
+    IOTrace,
+    TraceReplayer,
+    make_sequential_trace,
+    make_zipfian_trace,
+)
+
+
+def test_trace_validation():
+    good = dict(
+        arrival=np.array([0.0, 1.0]),
+        lba=np.array([0, 8]),
+        nbytes=np.array([4096, 4096]),
+        is_write=np.array([False, True]),
+    )
+    IOTrace(**good)
+    with pytest.raises(ConfigurationError):
+        IOTrace(**{**good, "arrival": np.array([1.0, 0.0])})
+    with pytest.raises(ConfigurationError):
+        IOTrace(**{**good, "nbytes": np.array([4096, 0])})
+    with pytest.raises(ConfigurationError):
+        IOTrace(**{**good, "lba": np.array([-1, 8])})
+    with pytest.raises(ConfigurationError):
+        IOTrace(**{**good, "lba": np.array([0])})
+
+
+def test_zipfian_trace_shape():
+    trace = make_zipfian_trace(2000, target_iops=100_000, seed=3)
+    assert len(trace) == 2000
+    assert trace.arrival[-1] == pytest.approx(0.02, rel=0.3)
+    assert 0.7 < trace.read_fraction < 0.9  # default 20% writes
+    # zipf skew: some LBAs repeat heavily
+    _, counts = np.unique(trace.lba, return_counts=True)
+    assert counts.max() > 10
+
+
+def test_sequential_trace_is_sequential():
+    trace = make_sequential_trace(100)
+    deltas = np.diff(trace.lba)
+    assert np.all(deltas == deltas[0])
+    assert not trace.is_write.any()
+
+
+def test_trace_scaling():
+    trace = make_zipfian_trace(100, target_iops=1000, seed=1)
+    faster = trace.scaled(2.0)
+    assert faster.arrival[-1] == pytest.approx(trace.arrival[-1] / 2)
+    with pytest.raises(ConfigurationError):
+        trace.scaled(0)
+
+
+def test_closed_loop_replay_measures_capacity():
+    platform = Platform(PlatformConfig(num_ssds=12), functional=False)
+    backend = make_backend("cam", platform, num_cores=12)
+    trace = make_zipfian_trace(1500, target_iops=10_000_000, seed=2,
+                               write_fraction=0.0)
+    report = TraceReplayer(backend).replay(
+        trace, open_loop=False, concurrency=256
+    )
+    assert report.achieved_bytes_per_s > gb_per_s(10)
+    assert report.read_latency.count == 1500
+
+
+def test_open_loop_replay_honours_arrival_rate():
+    """At an offered load far below capacity, the achieved rate matches
+    the offered rate and latencies stay near the device floor."""
+    platform = Platform(PlatformConfig(num_ssds=12), functional=False)
+    backend = make_backend("cam", platform, num_cores=12)
+    trace = make_zipfian_trace(1000, target_iops=50_000, seed=4,
+                               write_fraction=0.0)
+    report = TraceReplayer(backend).replay(trace, open_loop=True)
+    offered = trace.total_bytes / trace.arrival[-1]
+    assert report.achieved_bytes_per_s == pytest.approx(offered, rel=0.1)
+    # p99 read latency near the unloaded device round trip
+    assert report.latency_percentile(99) < 100e-6
+
+
+def test_open_loop_latency_grows_with_load():
+    def p99_at(iops):
+        platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+        backend = make_backend("cam", platform)
+        trace = make_zipfian_trace(1200, target_iops=iops, seed=5,
+                                   write_fraction=0.0)
+        report = TraceReplayer(backend).replay(trace, open_loop=True)
+        return report.latency_percentile(99)
+
+    light = p99_at(50_000)
+    heavy = p99_at(1_200_000)  # near the 2-SSD limit
+    assert heavy > 2 * light
+
+
+def test_replay_mixed_read_write_records_both():
+    platform = Platform(PlatformConfig(num_ssds=4), functional=False)
+    backend = make_backend("spdk", platform, to_gpu=False)
+    trace = make_zipfian_trace(600, target_iops=200_000,
+                               write_fraction=0.5, seed=6)
+    report = TraceReplayer(backend).replay(trace, open_loop=False,
+                                           concurrency=64)
+    assert report.read_latency.count + report.write_latency.count == 600
+    assert report.write_latency.count > 100
+    # writes are slower than reads on this device
+    assert report.write_latency.mean() > report.read_latency.mean()
+
+
+def test_trace_save_load_roundtrip(tmp_path):
+    trace = make_zipfian_trace(200, target_iops=1000, seed=11)
+    path = tmp_path / "trace.npz"
+    trace.save(path)
+    loaded = IOTrace.load(path)
+    assert np.array_equal(loaded.arrival, trace.arrival)
+    assert np.array_equal(loaded.lba, trace.lba)
+    assert np.array_equal(loaded.nbytes, trace.nbytes)
+    assert np.array_equal(loaded.is_write, trace.is_write)
+
+
+def test_trace_load_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez_compressed(path, arrival=np.array([0.0]))
+    with pytest.raises(ConfigurationError, match="missing arrays"):
+        IOTrace.load(path)

@@ -1,0 +1,45 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MS,
+    US,
+    gb_per_s,
+    mb_per_s,
+    pretty_bytes,
+    pretty_time,
+    to_gb_per_s,
+    to_miops,
+)
+
+
+def test_binary_sizes():
+    assert KiB == 1024
+    assert GiB == 1024 ** 3
+
+
+def test_bandwidth_roundtrip():
+    assert to_gb_per_s(gb_per_s(21.0)) == pytest.approx(21.0)
+    assert mb_per_s(1000) == gb_per_s(1.0)
+
+
+def test_to_miops():
+    assert to_miops(700_000) == pytest.approx(0.7)
+
+
+def test_pretty_bytes():
+    assert pretty_bytes(512) == "512B"
+    assert pretty_bytes(4096) == "4.0KiB"
+    assert pretty_bytes(128 * KiB) == "128.0KiB"
+    assert pretty_bytes(3 * GiB) == "3.0GiB"
+
+
+def test_pretty_time():
+    assert pretty_time(1.5) == "1.500s"
+    assert pretty_time(2 * MS) == "2.000ms"
+    assert pretty_time(15 * US) == "15.000us"
+    assert pretty_time(5e-9) == "5.0ns"

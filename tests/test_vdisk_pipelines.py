@@ -1,0 +1,149 @@
+"""Tests for the virtual disk and the two-stage pipeline helper."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError, InvalidLBAError
+from repro.hw.platform import Platform
+from repro.sim import Environment
+from repro.units import KiB
+from repro.workloads.pipelines import run_two_stage_pipeline
+from repro.workloads.vdisk import VirtualDisk
+
+
+# --- VirtualDisk -------------------------------------------------------------
+
+def test_vdisk_roundtrip_across_stripes():
+    platform = Platform(PlatformConfig(num_ssds=4))
+    platform.stripe_blocks = 8  # 4 KiB stripes
+    vdisk = VirtualDisk(platform)
+    data = (np.arange(64 * KiB) % 251).astype(np.uint8)
+    vdisk.write_direct(0, data)
+    assert np.array_equal(vdisk.read_direct(0, len(data)), data)
+    # the data really is spread over all four devices
+    for ssd in platform.ssds:
+        assert ssd.store.resident_bytes > 0
+
+
+def test_vdisk_typed_array_helpers():
+    platform = Platform(PlatformConfig(num_ssds=2))
+    vdisk = VirtualDisk(platform)
+    values = np.arange(1000, dtype=np.int64)
+    vdisk.write_array(4096, values)
+    assert np.array_equal(vdisk.read_array(4096, 1000, np.int64), values)
+
+
+def test_vdisk_requires_functional_platform():
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    with pytest.raises(ConfigurationError):
+        VirtualDisk(platform)
+
+
+def test_vdisk_alignment_enforced():
+    platform = Platform(PlatformConfig(num_ssds=1))
+    vdisk = VirtualDisk(platform)
+    with pytest.raises(InvalidLBAError):
+        vdisk.write_direct(100, np.zeros(10, dtype=np.uint8))
+
+
+def test_vdisk_matches_timed_read_path():
+    """Bytes staged via the vdisk are what a timed backend read returns."""
+    from repro.backends import make_backend
+    from repro.hw.buffers import HostBuffer
+
+    platform = Platform(PlatformConfig(num_ssds=3))
+    vdisk = VirtualDisk(platform)
+    payload = (np.arange(12 * KiB) % 199).astype(np.uint8)
+    vdisk.write_direct(0, payload)
+    backend = make_backend("spdk", platform, to_gpu=False)
+    target = HostBuffer(12 * KiB)
+
+    def proc():
+        for index in range(3):  # three 4 KiB reads over three SSDs
+            yield from backend.io(
+                index * 8, 4 * KiB, target=target,
+                target_offset=index * 4 * KiB,
+            )
+
+    platform.env.run(platform.env.process(proc()))
+    assert np.array_equal(target.read_bytes(0, 12 * KiB), payload)
+
+
+# --- pipeline helper --------------------------------------------------------
+
+def _stage(env, duration, log, tag):
+    def run(index):
+        yield env.timeout(duration)
+        log.append((tag, index, env.now))
+
+    return run
+
+
+def test_pipeline_overlap_halves_balanced_time():
+    env = Environment()
+    log = []
+    report = run_two_stage_pipeline(
+        env, 10, _stage(env, 1.0, log, "io"), _stage(env, 1.0, log, "c"),
+        overlap=True,
+    )
+    # fill (1) + 10 compute slots
+    assert report.total_time == pytest.approx(11.0)
+    assert report.io_time == pytest.approx(10.0)
+    assert report.compute_time == pytest.approx(10.0)
+    assert report.overlap_efficiency >= 0.85
+
+
+def test_pipeline_serial_sums_stage_times():
+    env = Environment()
+    log = []
+    report = run_two_stage_pipeline(
+        env, 5, _stage(env, 1.0, log, "io"), _stage(env, 2.0, log, "c"),
+        overlap=False,
+    )
+    assert report.total_time == pytest.approx(15.0)
+    assert report.overlap_efficiency == pytest.approx(0.0)
+
+
+def test_pipeline_io_bound_total_tracks_io():
+    env = Environment()
+    log = []
+    report = run_two_stage_pipeline(
+        env, 8, _stage(env, 2.0, log, "io"), _stage(env, 0.5, log, "c"),
+        overlap=True,
+    )
+    assert report.total_time == pytest.approx(8 * 2.0 + 0.5)
+
+
+def test_pipeline_preserves_item_order():
+    env = Environment()
+    log = []
+    run_two_stage_pipeline(
+        env, 4, _stage(env, 0.3, log, "io"), _stage(env, 1.0, log, "c"),
+        overlap=True,
+    )
+    compute_indices = [i for tag, i, _ in log if tag == "c"]
+    assert compute_indices == [0, 1, 2, 3]
+
+
+def test_pipeline_double_buffer_bounds_producer_lead():
+    """The producer cannot run unboundedly ahead: with a depth-1 buffer,
+    the I/O of item i only finishes after the compute of item i-3."""
+    env = Environment()
+    log = []
+    run_two_stage_pipeline(
+        env, 6, _stage(env, 0.1, log, "io"), _stage(env, 1.0, log, "c"),
+        overlap=True,
+    )
+    io_end = {i: w for t, i, w in log if t == "io"}
+    compute_end = {i: w for t, i, w in log if t == "c"}
+    for index in range(3, 6):
+        assert io_end[index] >= compute_end[index - 3]
+
+
+def test_pipeline_rejects_zero_items():
+    env = Environment()
+    with pytest.raises(ConfigurationError):
+        run_two_stage_pipeline(
+            env, 0, lambda i: iter(()), lambda i: iter(()), overlap=True
+        )
