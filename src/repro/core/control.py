@@ -39,6 +39,7 @@ class BatchRequest:
     done: Event = None  # signalled when the whole batch completed
     regions: object = None  # SyncRegions to flag on completion
     submit_time: float = 0.0
+    trace_span: object = None  # open "batch" span when tracing is enabled
 
     @property
     def request_count(self) -> int:
@@ -109,6 +110,14 @@ class CamManager:
         if batch.done is None:
             batch.done = self.env.event()
         batch.submit_time = self.env.now
+        tracer = self.env.tracer
+        if tracer.enabled:
+            batch.trace_span = tracer.begin(
+                "batch",
+                requests=batch.request_count,
+                bytes=batch.total_bytes,
+                is_write=batch.is_write,
+            )
         self._inbox.put(batch)
         return batch.done
 
@@ -117,22 +126,42 @@ class CamManager:
             batch = yield self._inbox.get()
             # the poller notices the doorbell after (on average) half a
             # poll interval, then marshals the batch arguments
+            tracer = self.env.tracer
+            poll_span = (
+                tracer.begin("doorbell_poll", parent=batch.trace_span)
+                if tracer.enabled
+                else None
+            )
             yield self.env.timeout(
                 self.config.poll_interval / 2 + self.config.batch_setup_time
             )
+            if poll_span is not None:
+                tracer.end(poll_span)
             # batches proceed concurrently (e.g. a read batch overlapping
             # a write-back batch); per-reactor CPU contention still
             # serializes the actual submission work
             self.env.process(self._handle_batch(batch))
 
     def _handle_batch(self, batch: BatchRequest) -> Generator:
-        start = self.env.now
         failures = yield from self._process_batch(batch)
-        self.last_io_time = self.env.now - batch.submit_time
-        self.batch_io_time.record(self.last_io_time)
+        # one definition of batch I/O time everywhere: doorbell ring to
+        # completion, as the GPU observes it (includes the poll delay)
+        io_time = self.env.now - batch.submit_time
+        self.last_io_time = io_time
+        self.batch_io_time.record(io_time)
         self.batches_done.add()
         self.requests_done.add(batch.request_count)
         self.bytes_done.add(batch.total_bytes)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "completion_signal",
+                parent=batch.trace_span,
+                requests=batch.request_count,
+                failures=len(failures),
+            )
+            if batch.trace_span is not None:
+                tracer.end(batch.trace_span, failures=len(failures))
         if batch.regions is not None:
             batch.regions.signal_completion()
         if failures:
@@ -146,7 +175,7 @@ class CamManager:
                 )
             )
         else:
-            batch.done.succeed(self.env.now - start)
+            batch.done.succeed(io_time)
 
     def _process_batch(self, batch: BatchRequest) -> Generator:
         """Fan the batch out over the SSDs and wait for every CQE."""
@@ -171,6 +200,7 @@ class CamManager:
                         payload=payload,
                         target=batch.dest,
                         target_offset=index * granularity,
+                        parent_span=batch.trace_span,
                     )
                 )
             )

@@ -3,6 +3,13 @@
 Paper: more than 34 % of the request path is spent in the file-system
 (LBA retrieval) and io_map (page pin/unpin) layers — overhead the
 direct-mapped, batch-pinned CAM design eliminates.
+
+The breakdown is computed from the span trace (``repro.obs``): each
+kernel layer's CPU time is recorded as a ``layer``-tagged span, and the
+:class:`~repro.obs.analyzer.TraceAnalyzer` aggregates them — the same
+path a Perfetto export uses, so the figure and the trace can never
+disagree.  ``tests/test_obs_differential.py`` pins the span sums to the
+stacks' own ``LayerBreakdown`` accounting.
 """
 
 from __future__ import annotations
@@ -11,8 +18,14 @@ from repro.backends import make_backend, measure_throughput
 from repro.config import PlatformConfig
 from repro.experiments.report import ExperimentResult, Table
 from repro.hw.platform import Platform
+from repro.obs import TraceAnalyzer, install_tracer
+from repro.oskernel.stacks import LAYERS
 
 _STACKS = ("posix", "libaio", "io_uring int", "io_uring poll")
+
+#: ring-buffer size for the traced runs; full mode records ~16 k spans
+#: per stack, so this never drops (a drop would bias the breakdown)
+_TRACE_CAPACITY = 1 << 17
 
 
 def run(quick: bool = True) -> ExperimentResult:
@@ -37,6 +50,9 @@ def run(quick: bool = True) -> ExperimentResult:
         )
         for stack_name in _STACKS:
             platform = Platform(config, functional=False)
+            tracer = install_tracer(
+                platform.env, capacity=_TRACE_CAPACITY
+            )
             backend = make_backend(stack_name, platform)
             measure_throughput(
                 backend,
@@ -45,17 +61,23 @@ def run(quick: bool = True) -> ExperimentResult:
                 total_requests=requests,
                 concurrency=backend.concurrency,
             )
-            shares = backend.stack.breakdown.fractions()
+            analyzer = TraceAnalyzer(tracer)
+            assert tracer.dropped == 0, "trace ring overflowed"
+            shares = analyzer.layer_fractions(layers=LAYERS)
             table.add_row(
                 stack_name,
                 shares["user"],
                 shares["filesystem"],
                 shares["iomap"],
                 shares["blockio"],
-                backend.stack.breakdown.kernel_overhead_fraction(),
+                analyzer.kernel_overhead_fraction(),
             )
     result.note(
         "shares cover the CPU layers only; device wait time is excluded, "
         "matching the paper's per-layer I/O-procedure breakdown"
+    )
+    result.note(
+        "computed from the repro.obs span trace (layer-tagged submit/"
+        "completion spans), not ad-hoc counters"
     )
     return result

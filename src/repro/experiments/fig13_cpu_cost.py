@@ -5,6 +5,13 @@ layers) but *far* fewer cycles: their polling loops run cache-resident at
 high IPC, while libaio's interrupt-driven kernel path misses caches.
 Writes cost more than reads because the slower device means more polling
 per completion.
+
+Costs are read from the span trace (``repro.obs``): every request's
+``submit`` span (reactors) or ``completion_signal`` span (libaio) is
+tagged with the instructions/cycles it charged, and
+:meth:`~repro.obs.analyzer.TraceAnalyzer.per_request_cpu_cost`
+averages them — the per-request numbers and the exported trace share
+one source of truth.
 """
 
 from __future__ import annotations
@@ -13,37 +20,28 @@ from repro.backends import make_backend, measure_throughput
 from repro.config import PlatformConfig
 from repro.experiments.report import ExperimentResult, Table
 from repro.hw.platform import Platform
+from repro.obs import TraceAnalyzer, install_tracer
+
+#: big enough that full mode (3000 requests x ~4 spans each) never drops
+_TRACE_CAPACITY = 1 << 16
 
 
-def _cam_or_spdk_cost(name: str, is_write: bool, requests: int):
+def _traced_cost(name: str, is_write: bool, requests: int,
+                 concurrency: int = 0):
+    """Run one backend under tracing; per-request (instructions, cycles).
+
+    ``concurrency=0`` uses the backend's natural closed-loop depth.
+    """
     platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    tracer = install_tracer(platform.env, capacity=_TRACE_CAPACITY)
     backend = make_backend(name, platform)
     measure_throughput(
         backend, 4096, is_write=is_write,
-        total_requests=requests, concurrency=64,
+        total_requests=requests,
+        concurrency=concurrency or backend.concurrency,
     )
-    driver = (
-        backend.manager.driver if name == "cam" else backend.driver
-    )
-    reactors = driver.pool.reactors
-    instructions = sum(r.accountant.total_instructions for r in reactors)
-    cycles = sum(r.accountant.total_cycles for r in reactors)
-    done = sum(r.accountant.requests for r in reactors)
-    return instructions / done, cycles / done
-
-
-def _libaio_cost(is_write: bool, requests: int):
-    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
-    backend = make_backend("libaio", platform)
-    measure_throughput(
-        backend, 4096, is_write=is_write,
-        total_requests=requests, concurrency=backend.concurrency,
-    )
-    accountant = backend.stack.accountant
-    return (
-        accountant.instructions_per_request(),
-        accountant.cycles_per_request(),
-    )
+    assert tracer.dropped == 0, "trace ring overflowed"
+    return TraceAnalyzer(tracer).per_request_cpu_cost()
 
 
 def run(quick: bool = True) -> ExperimentResult:
@@ -64,12 +62,17 @@ def run(quick: bool = True) -> ExperimentResult:
             )
         )
         for name in ("cam", "spdk"):
-            instructions, cycles = _cam_or_spdk_cost(name, is_write,
-                                                     requests)
+            instructions, cycles = _traced_cost(
+                name, is_write, requests, concurrency=64
+            )
             table.add_row(name, instructions, cycles)
-        instructions, cycles = _libaio_cost(is_write, requests)
+        instructions, cycles = _traced_cost("libaio", is_write, requests)
         table.add_row("libaio", instructions, cycles)
     result.note(
         "BaM is excluded as in the paper: it spends GPU, not CPU, resources"
+    )
+    result.note(
+        "per-request costs are read from cost-tagged spans in the "
+        "repro.obs trace, not from the accountants directly"
     )
     return result

@@ -49,6 +49,10 @@ class SQE:
     payload: Any = None
     command_id: int = field(default_factory=lambda: next(_command_ids))
     submit_time: float = 0.0
+    #: parent span for the device's ``nvme_io`` span (tracing only);
+    #: rides on the SQE because the command crosses from the submitting
+    #: control plane to the device-side handler through the ring
+    trace_span: Any = None
 
     def nbytes(self, block_size: int) -> int:
         return self.num_blocks * block_size

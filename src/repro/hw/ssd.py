@@ -165,12 +165,26 @@ class SSD:
         is_write = sqe.opcode.is_write
         nbytes = sqe.nbytes(self.config.block_size)
         offset = sqe.lba * self.config.block_size
+        tracer = self.env.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "nvme_io",
+                parent=sqe.trace_span,
+                ssd=self.ssd_id,
+                lba=sqe.lba,
+                bytes=nbytes,
+                is_write=is_write,
+                opcode=sqe.opcode.value,
+            )
 
         if sqe.opcode is NVMeOpcode.FLUSH:
             # a flush drains the device write path: model as one FTL pass
             with self._ftl.request() as slot:
                 yield slot
                 yield self.env.timeout(self.config.ftl_time(True))
+            if span is not None:
+                tracer.end(span)
             qp.post_completion(CQE(command_id=sqe.command_id))
             return
 
@@ -187,6 +201,8 @@ class SSD:
                 # reported back
                 yield from self._media(nbytes, is_write=is_write)
                 self.faults_reported += 1
+                if span is not None:
+                    tracer.end(span, status=status)
                 qp.post_completion(
                     CQE(command_id=sqe.command_id, status=status)
                 )
@@ -196,18 +212,20 @@ class SSD:
         if is_write:
             # Host/GPU -> SSD data movement first, then media program.
             if self.pcie is not None and nbytes:
-                yield from self.pcie.transfer(nbytes)
+                yield from self._traced_transfer(nbytes, span)
             if self.store is not None and sqe.payload is not None:
                 self.store.write(offset, sqe.payload)
             yield from self._media(nbytes, is_write=True)
         else:
             yield from self._media(nbytes, is_write=False)
             if self.pcie is not None and nbytes:
-                yield from self.pcie.transfer(nbytes)
+                yield from self._traced_transfer(nbytes, span)
             if self.store is not None:
                 data = self.store.read(offset, nbytes)
                 value = self._deliver(sqe, data)
 
+        if span is not None:
+            tracer.end(span)
         latency = self.env.now - sqe.submit_time
         if is_write:
             self.writes_completed.add()
@@ -218,6 +236,18 @@ class SSD:
             self.bytes_read.add(nbytes)
             self.read_latency.record(latency)
         qp.post_completion(CQE(command_id=sqe.command_id, value=value))
+
+    def _traced_transfer(self, nbytes: int, parent) -> Generator:
+        """The payload's PCIe crossing, wrapped in a span when tracing."""
+        tracer = self.env.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "pcie_transfer", parent=parent, ssd=self.ssd_id, bytes=nbytes
+            )
+        yield from self.pcie.transfer(nbytes)
+        if span is not None:
+            tracer.end(span)
 
     def _media(self, nbytes: int, is_write: bool) -> Generator:
         """FTL serialization + flash-channel occupancy."""

@@ -1,0 +1,49 @@
+"""``repro.obs`` — span-based I/O tracing & observability (ISSUE 1).
+
+Quick use::
+
+    from repro.obs import TraceAnalyzer, install_tracer
+
+    platform = Platform(config)
+    tracer = install_tracer(platform.env)   # enable recording
+    ... run a workload ...
+    analyzer = TraceAnalyzer(tracer)
+    print(analyzer.seconds_by_name())
+
+See ``docs/OBSERVABILITY.md`` for the span vocabulary, the exporters and
+how to open a trace in Perfetto.
+"""
+
+from repro.obs.analyzer import TraceAnalyzer
+from repro.obs.export import (
+    export_perfetto_json,
+    export_trace_csv,
+    load_trace_csv,
+    to_trace_events,
+)
+from repro.obs.tracer import (
+    DEFAULT_CAPACITY,
+    NULL_TRACER,
+    NullTracer,
+    SPAN_KINDS,
+    Span,
+    Tracer,
+    install_tracer,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "NULL_TRACER",
+    "NullTracer",
+    "SPAN_KINDS",
+    "Span",
+    "TraceAnalyzer",
+    "Tracer",
+    "export_perfetto_json",
+    "export_trace_csv",
+    "install_tracer",
+    "load_trace_csv",
+    "to_trace_events",
+    "uninstall_tracer",
+]

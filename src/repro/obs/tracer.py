@@ -1,0 +1,225 @@
+"""Span-based tracing for the simulation.
+
+A :class:`Tracer` attached to the :class:`~repro.sim.core.Environment`
+records typed spans — sim-time intervals with a name, parent linkage and
+free-form tags — as requests move through the control planes:
+
+==================  ====================================================
+span name           what it covers
+==================  ====================================================
+``batch``           doorbell ring -> completion of one CAM batch
+``doorbell_poll``   CPU poller noticing the doorbell + argument marshal
+``submit``          per-request CPU submission work (reactor busy time,
+                    or one kernel layer, tagged ``layer=...``)
+``nvme_io``         device-side service of one NVMe command
+``pcie_transfer``   the payload crossing the PCIe fabric
+``completion_signal`` flagging region 4 / completion-side CPU work
+==================  ====================================================
+
+Design constraints (ISSUE 1):
+
+* **Zero cost when disabled.**  Every environment starts with the shared
+  :data:`NULL_TRACER`, whose ``enabled`` flag is ``False``.  Instrumented
+  code guards span creation with ``if tracer.enabled``, so the disabled
+  path is a single attribute test — no span, no tag dict, no allocation.
+* **Bounded memory when enabled.**  Completed spans live in a ring
+  buffer of ``capacity`` entries; once full, the oldest span is evicted
+  and :attr:`Tracer.dropped` counts the loss so analyses know the trace
+  is partial.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, Optional, Tuple
+
+#: the span names the instrumentation emits (exporters accept any name)
+SPAN_KINDS: Tuple[str, ...] = (
+    "batch",
+    "doorbell_poll",
+    "submit",
+    "nvme_io",
+    "pcie_transfer",
+    "completion_signal",
+)
+
+#: default ring-buffer capacity (spans); enough for the quick experiment
+#: runs while keeping worst-case memory around a few tens of MB
+DEFAULT_CAPACITY = 65536
+
+
+class Span:
+    """One traced interval of simulated time."""
+
+    __slots__ = ("span_id", "name", "begin", "end", "parent_id", "tags")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        begin: float,
+        parent_id: Optional[int] = None,
+        tags: Optional[Dict[str, object]] = None,
+    ):
+        self.span_id = span_id
+        self.name = name
+        self.begin = begin
+        #: ``None`` until :meth:`Tracer.end` stamps the close time
+        self.end: Optional[float] = None
+        self.parent_id = parent_id
+        self.tags: Dict[str, object] = tags if tags is not None else {}
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds of simulated time the span covers (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.begin
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e6:.3f}us" if self.closed else "open"
+        return f"<Span #{self.span_id} {self.name} {state}>"
+
+
+class NullTracer:
+    """The disabled tracer: records nothing, allocates nothing.
+
+    All environments share one instance (:data:`NULL_TRACER`).
+    Instrumentation points check :attr:`enabled` before building spans or
+    tag dictionaries, so tracing-off costs one attribute read per site.
+    """
+
+    enabled = False
+    dropped = 0
+
+    @property
+    def span_count(self) -> int:
+        return 0
+
+    def begin(self, name: str, parent: Optional[Span] = None, **tags):
+        return None
+
+    def end(self, span, **tags):
+        return None
+
+    def instant(self, name: str, parent: Optional[Span] = None, **tags):
+        return None
+
+    def annotate(self, span, **tags) -> None:
+        pass
+
+    def spans(self) -> Tuple[Span, ...]:
+        return ()
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+#: the shared disabled tracer every Environment starts with
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer: a bounded ring buffer of completed spans.
+
+    Parameters
+    ----------
+    env:
+        Anything with a ``now`` attribute in simulated seconds (the
+        discrete-event :class:`~repro.sim.core.Environment`).
+    capacity:
+        Maximum completed spans retained.  When the ring is full the
+        oldest span is evicted and :attr:`dropped` incremented, so
+        long-running simulations stay bounded-memory.
+    """
+
+    enabled = True
+
+    def __init__(self, env, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._ring: deque = deque()
+        self._next_id = 0
+        #: completed spans evicted because the ring was full
+        self.dropped = 0
+        #: spans begun over the tracer's lifetime (eviction-proof)
+        self.begun = 0
+
+    # -- recording ------------------------------------------------------
+    def begin(
+        self, name: str, parent: Optional[Span] = None, **tags
+    ) -> Span:
+        """Open a span at the current simulated time."""
+        self._next_id += 1
+        self.begun += 1
+        return Span(
+            self._next_id,
+            name,
+            self.env.now,
+            parent_id=parent.span_id if parent is not None else None,
+            tags=tags,
+        )
+
+    def end(self, span: Span, **tags) -> Span:
+        """Close ``span`` now and commit it to the ring buffer."""
+        span.end = self.env.now
+        if tags:
+            span.tags.update(tags)
+        if len(self._ring) >= self.capacity:
+            self._ring.popleft()
+            self.dropped += 1
+        self._ring.append(span)
+        return span
+
+    def instant(
+        self, name: str, parent: Optional[Span] = None, **tags
+    ) -> Span:
+        """A zero-duration span (begin == end == now)."""
+        return self.end(self.begin(name, parent=parent, **tags))
+
+    def annotate(self, span: Optional[Span], **tags) -> None:
+        """Attach tags to a span after the fact (no-op for ``None``)."""
+        if span is not None:
+            span.tags.update(tags)
+
+    # -- reading --------------------------------------------------------
+    @property
+    def span_count(self) -> int:
+        """Completed spans currently retained."""
+        return len(self._ring)
+
+    def spans(self) -> Iterator[Span]:
+        """Retained completed spans, oldest first (end order)."""
+        return iter(tuple(self._ring))
+
+    def clear(self) -> None:
+        """Drop all retained spans and reset the drop counter."""
+        self._ring.clear()
+        self.dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer {len(self._ring)}/{self.capacity} spans, "
+            f"{self.dropped} dropped>"
+        )
+
+
+def install_tracer(env, capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Attach a recording :class:`Tracer` to ``env`` and return it."""
+    tracer = Tracer(env, capacity=capacity)
+    env.tracer = tracer
+    return tracer
+
+
+def uninstall_tracer(env) -> None:
+    """Restore the zero-cost :data:`NULL_TRACER` on ``env``."""
+    env.tracer = NULL_TRACER

@@ -102,8 +102,14 @@ class KernelStack:
         """Yield ``(layer_name, seconds)`` of submission-side CPU work."""
         raise NotImplementedError
 
-    def _charge_instructions(self, is_write: bool) -> None:
-        """Record Fig. 13-style instruction counts for one request."""
+    def _charge_instructions(self, is_write: bool) -> Optional[dict]:
+        """Record Fig. 13-style instruction counts for one request.
+
+        Returns the charged ``instructions``/``cycles`` (or ``None``
+        when the stack does not model them) so the request's span can be
+        tagged with the cost.
+        """
+        return None
 
     def _unpin_cost(self, nbytes: int) -> float:
         """Completion-side io_map work (page unpin) per request."""
@@ -137,12 +143,22 @@ class KernelStack:
             local_lba = lba
 
         # submission-side CPU, serialized across the stack's threads
+        tracer = self.env.tracer
         with self._submit_cpu.request() as cpu:
             yield cpu
             for layer, seconds in self._submission_layers(nbytes, is_write):
                 seconds = self._inflate(seconds, is_write)
                 self.breakdown.charge(layer, seconds)
+                # span covers exactly the charged CPU time, so the
+                # trace-derived Fig. 3 breakdown matches LayerBreakdown
+                span = (
+                    tracer.begin("submit", stack=self.name, layer=layer)
+                    if tracer.enabled
+                    else None
+                )
                 yield self.env.timeout(seconds)
+                if span is not None:
+                    tracer.end(span)
 
         opcode = NVMeOpcode.WRITE if is_write else NVMeOpcode.READ
         sqe = SQE(
@@ -169,11 +185,20 @@ class KernelStack:
         # unpin pages (second half of the io_map cost)
         unpin = self._inflate(self._unpin_cost(nbytes), is_write)
         self.breakdown.charge("iomap", unpin)
+        unpin_span = None
         with self._submit_cpu.request() as cpu:
             yield cpu
+            if tracer.enabled:
+                unpin_span = tracer.begin(
+                    "completion_signal", stack=self.name, layer="iomap"
+                )
             yield self.env.timeout(unpin)
+            if unpin_span is not None:
+                tracer.end(unpin_span)
 
-        self._charge_instructions(is_write)
+        cost = self._charge_instructions(is_write)
+        if unpin_span is not None and cost:
+            tracer.annotate(unpin_span, **cost)
         self.accountant.complete_request()
         self.requests_done.add()
         self.bytes_done.add(nbytes)
@@ -265,15 +290,16 @@ class LibaioStack(KernelStack):
         yield "iomap", self.iomap.pin_time(nbytes)
         yield "blockio", config.blockio_time
 
-    def _charge_instructions(self, is_write: bool) -> None:
+    def _charge_instructions(self, is_write: bool) -> dict:
         model = self.cost_model
         inflation = self.config.write_inflation if is_write else 1.0
-        self.accountant.charge(
-            "kernel", model.instructions_per_request * inflation, model.ipc
-        )
+        kernel_instructions = model.instructions_per_request * inflation
+        self.accountant.charge("kernel", kernel_instructions, model.ipc)
         self.accountant.charge(
             "interrupt", model.interrupt_instructions, model.ipc
         )
+        total = kernel_instructions + model.interrupt_instructions
+        return {"instructions": total, "cycles": total / model.ipc}
 
     @property
     def concurrency(self) -> int:

@@ -19,6 +19,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import ProcessInterrupt, SimulationError
+from repro.obs.tracer import NULL_TRACER
 
 #: Scheduling priorities.  URGENT events run before NORMAL events scheduled
 #: for the same instant; interrupts use URGENT so they beat ordinary resumes.
@@ -295,6 +296,10 @@ class Environment:
         self._active_generator = None
         #: events processed so far — the simulator's own cost metric
         self.events_processed = 0
+        #: span tracer (see :mod:`repro.obs`); the shared null tracer
+        #: keeps the disabled path allocation-free — install a recording
+        #: one with :func:`repro.obs.install_tracer`
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:

@@ -108,6 +108,10 @@ class LatencyStat:
     def count(self) -> int:
         return len(self._samples)
 
+    def total(self) -> float:
+        """Sum of all recorded latencies (batch-seconds moved)."""
+        return sum(self._samples)
+
     def mean(self) -> float:
         if not self._samples:
             return 0.0

@@ -83,10 +83,13 @@ class SpdkDriver:
         target=None,
         target_offset: int = 0,
         ssd_index: Optional[int] = None,
+        parent_span=None,
     ) -> Generator:
         """Process: one kernel-bypass I/O; resumes when the CQE is polled.
 
         ``lba`` is striped across SSDs unless ``ssd_index`` is given.
+        ``parent_span`` (e.g. a CAM batch span) parents the per-request
+        ``submit`` and ``nvme_io`` spans when tracing is enabled.
         """
         block_size = self.platform.config.ssd.block_size
         num_blocks = max(1, -(-nbytes // block_size))
@@ -98,10 +101,14 @@ class SpdkDriver:
         handle = self._handles[ssd_index]
 
         # submission + completion-poll CPU on the owning reactor
-        yield from handle.reactor.charge()
-        handle.reactor.account_request(
+        span = yield from handle.reactor.charge(parent=parent_span)
+        cost = handle.reactor.account_request(
             poll_iterations=self._poll_iterations(is_write)
         )
+        if span is not None:
+            span.tags["ssd"] = ssd_index
+            span.tags["is_write"] = is_write
+            span.tags.update(cost)
 
         opcode = NVMeOpcode.WRITE if is_write else NVMeOpcode.READ
         sqe = SQE(
@@ -111,6 +118,7 @@ class SpdkDriver:
             payload=payload,
             target=target,
             target_offset=target_offset,
+            trace_span=parent_span,
         )
         done = handle.dispatcher.register(sqe.command_id)
         yield handle.queue_pair.submit(sqe)

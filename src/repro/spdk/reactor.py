@@ -40,25 +40,56 @@ class Reactor:
             # occupy a physical core for the reactor's lifetime
             self._core_grant = cpu.acquire_core()
 
-    def charge(self, seconds: Optional[float] = None) -> Generator:
-        """Process: serialized CPU work on this reactor."""
+    def charge(
+        self, seconds: Optional[float] = None, parent=None
+    ) -> Generator:
+        """Process: serialized CPU work on this reactor.
+
+        Returns the ``submit`` span covering the busy time (or ``None``
+        when tracing is disabled), so callers can attach request tags.
+        The span excludes the wait for the core — per-reactor
+        utilization sums span durations, so only busy time may count.
+        """
         cost = self.config.per_request_cpu if seconds is None else seconds
+        span = None
         with self._serial.request() as slot:
             yield slot
+            tracer = self.env.tracer
+            if tracer.enabled:
+                span = tracer.begin(
+                    "submit", parent=parent, reactor=self.reactor_id
+                )
             yield self.env.timeout(cost)
+            if span is not None:
+                tracer.end(span)
         self.requests.add()
+        return span
 
-    def account_request(self, poll_iterations: float = 1.0) -> None:
-        """Record Fig. 13-style instruction counts for one request."""
-        self.accountant.charge(
-            "submit", self.config.submit_instructions, self.config.work_ipc
+    def account_request(self, poll_iterations: float = 1.0) -> dict:
+        """Record Fig. 13-style instruction counts for one request.
+
+        Returns the charged ``instructions``/``cycles`` so the caller
+        can tag the request's span with them (Fig. 13 via the trace).
+        """
+        submit_instructions = self.config.submit_instructions
+        poll_instructions = (
+            self.config.poll_instructions_per_iter * poll_iterations
         )
         self.accountant.charge(
-            "poll",
-            self.config.poll_instructions_per_iter * poll_iterations,
-            self.config.poll_ipc,
+            "submit", submit_instructions, self.config.work_ipc
+        )
+        self.accountant.charge(
+            "poll", poll_instructions, self.config.poll_ipc
         )
         self.accountant.complete_request()
+        return {
+            "instructions": submit_instructions + poll_instructions,
+            "cycles": (
+                submit_instructions / self.config.work_ipc
+                + poll_instructions / self.config.poll_ipc
+            ),
+            "poll_iterations": poll_iterations,
+        }
 
     @property
     def iops_capacity(self) -> float:

@@ -9,6 +9,12 @@ Examples::
 Each experiment becomes ``<out>/<exp_id>/<panel_index>_<slug>.csv`` plus a
 ``notes.txt`` with the paper expectation and any caveats, so the figures
 can be re-plotted with any tool without re-running the simulations.
+
+Span-trace exporters (see ``docs/OBSERVABILITY.md``) also live here:
+:func:`export_perfetto_json` writes a Chrome/Perfetto ``trace_event``
+JSON, :func:`export_trace_csv`/:func:`load_trace_csv` round-trip the
+flat span table.  ``python -m repro.tools.trace_demo`` exercises both on
+a small traced run.
 """
 
 from __future__ import annotations
@@ -20,6 +26,12 @@ import sys
 from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, EXTRAS, run_experiment
+from repro.obs.export import (  # noqa: F401  (re-exported trace exporters)
+    export_perfetto_json,
+    export_trace_csv,
+    load_trace_csv,
+    to_trace_events,
+)
 
 
 def _slug(title: str, max_length: int = 48) -> str:

@@ -1,0 +1,129 @@
+"""Trace-pipeline smoke test: record, export, re-import, summarize.
+
+Runs two small traced simulations — a real CAM doorbell batch and an
+io_uring baseline — then exercises the whole observability pipeline:
+
+1. Perfetto ``trace_event`` JSON export (validated for required keys),
+2. flat CSV export + re-import round trip,
+3. :class:`~repro.obs.analyzer.TraceAnalyzer` breakdown tables.
+
+Run by the tier-1 test suite so exporter bit-rot is caught immediately::
+
+    python -m repro.tools.trace_demo --out /tmp/traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import make_backend, measure_throughput
+from repro.config import PlatformConfig
+from repro.core.control import BatchRequest, CamManager
+from repro.hw.platform import Platform
+from repro.obs import TraceAnalyzer, install_tracer
+from repro.obs.export import (
+    export_perfetto_json,
+    export_trace_csv,
+    load_trace_csv,
+)
+
+_REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def _trace_cam_batch(requests: int, seed: int):
+    """One CAM batch through the real doorbell -> completion path."""
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    tracer = install_tracer(platform.env)
+    manager = CamManager(platform)
+    rng = np.random.default_rng(seed)
+    lbas = rng.integers(0, 1 << 16, size=requests).astype(np.int64) * 8
+    batch = BatchRequest(lbas=lbas, granularity=4096, is_write=False)
+    platform.env.run(manager.ring(batch))
+    return tracer, manager
+
+
+def _trace_kernel_baseline(requests: int, seed: int):
+    """The same load through a kernel stack, for comparison."""
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    tracer = install_tracer(platform.env)
+    backend = make_backend("io_uring poll", platform)
+    measure_throughput(
+        backend,
+        granularity=4096,
+        total_requests=requests,
+        concurrency=min(8, requests),
+        seed=seed,
+    )
+    return tracer
+
+
+def _validate_perfetto(path: Path) -> int:
+    """Re-load the JSON and check the trace_event contract."""
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    if not events:
+        raise SystemExit(f"{path}: no trace events")
+    for event in events:
+        missing = [k for k in _REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            raise SystemExit(f"{path}: event missing keys {missing}")
+    return len(events)
+
+
+def run_demo(out_dir: Path, requests: int = 48, seed: int = 7) -> dict:
+    """Run both traced simulations and export/validate everything."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    summary = {}
+    cam_tracer, manager = _trace_cam_batch(requests, seed)
+    kernel_tracer = _trace_kernel_baseline(requests, seed)
+    for label, tracer in (("cam", cam_tracer), ("kernel", kernel_tracer)):
+        json_path = out_dir / f"{label}_trace.json"
+        csv_path = out_dir / f"{label}_trace.csv"
+        events = export_perfetto_json(tracer, json_path)
+        spans = export_trace_csv(tracer, csv_path)
+        _validate_perfetto(json_path)
+        reloaded = TraceAnalyzer(load_trace_csv(csv_path))
+        live = TraceAnalyzer(tracer)
+        if reloaded.seconds_by_name() != live.seconds_by_name():
+            raise SystemExit(f"{csv_path}: CSV round trip diverged")
+        summary[label] = {
+            "events": events,
+            "spans": spans,
+            "dropped": tracer.dropped,
+            "seconds_by_name": live.seconds_by_name(),
+        }
+        print(f"{label}: {spans} spans -> {json_path.name} "
+              f"({events} events), {csv_path.name}")
+        for name, seconds in sorted(live.seconds_by_name().items()):
+            print(f"  {name:<18} {seconds * 1e6:10.2f} us total")
+    cam = TraceAnalyzer(cam_tracer)
+    batch_total = cam.batch_latency_total()
+    if abs(batch_total - manager.batch_io_time.total()) > 1e-9:
+        raise SystemExit("batch span total diverged from LatencyStat")
+    for reactor, busy in sorted(cam.reactor_utilization().items()):
+        print(f"  reactor {reactor} utilization {busy:6.1%}")
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Smoke-test the span tracing/export pipeline."
+    )
+    parser.add_argument("--out", default="trace_demo_out",
+                        help="output directory (default: trace_demo_out)")
+    parser.add_argument("--requests", type=int, default=48,
+                        help="requests per traced run")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    run_demo(Path(args.out), requests=args.requests, seed=args.seed)
+    print("trace demo ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

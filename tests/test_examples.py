@@ -12,7 +12,7 @@ _SCRIPTS = [
     "quickstart.py",
     "out_of_core_sort.py",
     "out_of_core_gemm.py",
-    "gnn_training.py",
+    pytest.param("gnn_training.py", marks=pytest.mark.slow),
     "io_stack_comparison.py",
     "anns_search.py",
     "storage_offloaded_training.py",

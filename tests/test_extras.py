@@ -70,6 +70,7 @@ def test_ablation_datapath_pressure_points():
             assert direct > 1.5 * bounce, scenario
 
 
+@pytest.mark.slow
 def test_ablation_autotune_sheds_cores_without_time_loss():
     result = run_experiment("ablation_autotune", quick=True)
     table = result.tables[0]

@@ -22,6 +22,7 @@ def test_shape_statistics_sane(p100m_shape):
     assert len(p100m_shape.layer_nodes_per_seed) == 2
 
 
+@pytest.mark.slow
 def test_shape_stable_across_probe_scales():
     """The scale-invariance assumption: shapes measured at two probe
     scales agree within sampling noise."""

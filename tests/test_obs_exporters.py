@@ -1,0 +1,136 @@
+"""Exporter tests: Perfetto trace_event contract, CSV round trip, demo."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import make_backend, measure_throughput
+from repro.config import PlatformConfig
+from repro.core.control import BatchRequest, CamManager
+from repro.hw.platform import Platform
+from repro.obs import TraceAnalyzer, install_tracer
+# the exporters ship from repro.tools.export (ISSUE 1); import from there
+from repro.tools.export import (
+    export_perfetto_json,
+    export_trace_csv,
+    load_trace_csv,
+    to_trace_events,
+)
+from repro.tools.trace_demo import main as trace_demo_main
+
+REQUIRED_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+
+@pytest.fixture()
+def cam_trace():
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    tracer = install_tracer(platform.env)
+    manager = CamManager(platform)
+    lbas = np.arange(12, dtype=np.int64) * 8
+    batch = BatchRequest(lbas=lbas, granularity=4096, is_write=False)
+    platform.env.run(manager.ring(batch))
+    return tracer
+
+
+def test_trace_events_satisfy_trace_event_schema(cam_trace):
+    events = to_trace_events(cam_trace)
+    assert events
+    for event in events:
+        assert REQUIRED_KEYS <= set(event), event
+        assert event["ph"] in ("X", "M")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+
+
+def test_complete_events_carry_span_linkage(cam_trace):
+    events = [e for e in to_trace_events(cam_trace) if e["ph"] == "X"]
+    ids = {e["args"]["span_id"] for e in events}
+    assert len(ids) == len(events)  # unique ids
+    for event in events:
+        parent = event["args"].get("parent_id")
+        if parent is not None:
+            assert parent in ids
+
+
+def test_tracks_split_control_reactors_and_ssds(cam_trace):
+    events = [e for e in to_trace_events(cam_trace) if e["ph"] == "X"]
+    by_name = {}
+    for event in events:
+        by_name.setdefault(event["name"], set()).add(event["tid"])
+    assert by_name["batch"] == {0}
+    assert all(tid >= 100 for tid in by_name["submit"])
+    assert all(tid >= 200 for tid in by_name["nvme_io"])
+    # thread-name metadata labels every used track
+    meta = {
+        e["tid"]
+        for e in to_trace_events(cam_trace)
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {e["tid"] for e in events} <= meta
+
+
+def test_perfetto_json_loads_and_validates(cam_trace, tmp_path):
+    path = tmp_path / "trace.json"
+    count = export_perfetto_json(cam_trace, path)
+    payload = json.loads(path.read_text())
+    assert set(payload) == {"traceEvents", "displayTimeUnit"}
+    assert len(payload["traceEvents"]) == count
+    for event in payload["traceEvents"]:
+        assert REQUIRED_KEYS <= set(event)
+
+
+def test_csv_round_trips_through_analyzer(cam_trace, tmp_path):
+    path = tmp_path / "trace.csv"
+    written = export_trace_csv(cam_trace, path)
+    spans = load_trace_csv(path)
+    assert len(spans) == written == cam_trace.span_count
+    original = TraceAnalyzer(cam_trace)
+    reloaded = TraceAnalyzer(spans)
+    assert reloaded.seconds_by_name() == original.seconds_by_name()
+    assert reloaded.count_by_name() == original.count_by_name()
+    assert reloaded.batch_latency_total() == original.batch_latency_total()
+    assert (
+        reloaded.reactor_busy_seconds() == original.reactor_busy_seconds()
+    )
+    # tags survive, including parent linkage and numeric types
+    by_id = {s.span_id: s for s in spans}
+    for span in cam_trace.spans():
+        restored = by_id[span.span_id]
+        assert restored.name == span.name
+        assert restored.parent_id == span.parent_id
+        assert restored.tags == span.tags
+
+
+def test_csv_loader_rejects_foreign_csv(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(ValueError, match="missing columns"):
+        load_trace_csv(path)
+
+
+def test_kernel_stack_trace_exports_layer_tags(tmp_path):
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    tracer = install_tracer(platform.env)
+    backend = make_backend("posix", platform)
+    measure_throughput(
+        backend, 4096, total_requests=20,
+        concurrency=backend.concurrency,
+    )
+    path = tmp_path / "kernel.csv"
+    export_trace_csv(tracer, path)
+    analyzer = TraceAnalyzer(load_trace_csv(path))
+    layers = analyzer.layer_seconds()
+    assert set(layers) == {"user", "filesystem", "iomap", "blockio"}
+    assert all(seconds > 0 for seconds in layers.values())
+
+
+def test_trace_demo_smoke(tmp_path):
+    # tier-1 exporter bit-rot canary (ISSUE 1 CI satellite)
+    assert trace_demo_main(["--out", str(tmp_path), "--requests", "16"]) == 0
+    for name in ("cam_trace.json", "cam_trace.csv",
+                 "kernel_trace.json", "kernel_trace.csv"):
+        assert (tmp_path / name).stat().st_size > 0

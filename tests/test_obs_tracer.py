@@ -1,0 +1,174 @@
+"""Tracer unit tests: nesting, linkage, ring buffer, null fast path."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core.control import BatchRequest, CamManager
+from repro.hw.platform import Platform
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceAnalyzer,
+    Tracer,
+    install_tracer,
+    uninstall_tracer,
+)
+from repro.sim.core import Environment
+
+import numpy as np
+
+
+def test_span_records_begin_end_and_duration():
+    env = Environment()
+    tracer = install_tracer(env)
+    span = tracer.begin("batch", requests=4)
+    env.run(until=2.5)
+    tracer.end(span)
+    assert span.begin == 0.0
+    assert span.end == 2.5
+    assert span.duration == 2.5
+    assert span.tags == {"requests": 4}
+
+
+def test_parent_linkage_and_nesting():
+    env = Environment()
+    tracer = install_tracer(env)
+    parent = tracer.begin("batch")
+    child = tracer.begin("submit", parent=parent)
+    grandchild = tracer.begin("pcie_transfer", parent=child)
+    for span in (grandchild, child, parent):
+        tracer.end(span)
+    assert child.parent_id == parent.span_id
+    assert grandchild.parent_id == child.span_id
+    assert parent.parent_id is None
+    analyzer = TraceAnalyzer(tracer)
+    assert [s.span_id for s in analyzer.children(parent)] == [child.span_id]
+    descendants = {s.span_id for s in analyzer.descendants(parent)}
+    assert descendants == {child.span_id, grandchild.span_id}
+
+
+def test_open_spans_are_not_reported():
+    env = Environment()
+    tracer = install_tracer(env)
+    open_span = tracer.begin("batch")
+    done = tracer.end(tracer.begin("submit"))
+    assert [s.span_id for s in tracer.spans()] == [done.span_id]
+    assert not open_span.closed
+    assert open_span.duration == 0.0
+
+
+def test_ring_buffer_evicts_oldest_and_counts_drops():
+    env = Environment()
+    tracer = Tracer(env, capacity=4)
+    spans = [tracer.end(tracer.begin(f"s{i}")) for i in range(7)]
+    assert tracer.span_count == 4
+    assert tracer.dropped == 3
+    retained = [s.name for s in tracer.spans()]
+    assert retained == ["s3", "s4", "s5", "s6"]
+    assert tracer.begun == 7
+    assert spans[0] not in list(tracer.spans())
+
+
+def test_ring_buffer_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(Environment(), capacity=0)
+
+
+def test_instant_span_has_zero_duration():
+    env = Environment()
+    tracer = install_tracer(env)
+    span = tracer.instant("completion_signal", requests=3)
+    assert span.duration == 0.0
+    assert span.tags["requests"] == 3
+    assert tracer.span_count == 1
+
+
+def test_clear_resets_ring_and_drop_counter():
+    env = Environment()
+    tracer = Tracer(env, capacity=1)
+    tracer.end(tracer.begin("a"))
+    tracer.end(tracer.begin("b"))
+    assert tracer.dropped == 1
+    tracer.clear()
+    assert tracer.span_count == 0
+    assert tracer.dropped == 0
+
+
+def test_every_environment_starts_with_the_shared_null_tracer():
+    env = Environment()
+    assert env.tracer is NULL_TRACER
+    assert isinstance(env.tracer, NullTracer)
+    assert env.tracer.enabled is False
+
+
+def test_uninstall_restores_null_tracer():
+    env = Environment()
+    install_tracer(env)
+    uninstall_tracer(env)
+    assert env.tracer is NULL_TRACER
+
+
+def test_null_tracer_allocates_no_spans():
+    tracer = NULL_TRACER
+    span = tracer.begin("batch", requests=9)
+    assert span is None
+    assert tracer.end(span) is None
+    assert tracer.instant("completion_signal") is None
+    tracer.annotate(span, key=1)  # must not raise
+    assert tracer.span_count == 0
+    assert tracer.dropped == 0
+    assert tuple(tracer.spans()) == ()
+
+
+def _run_cam_batch(platform, requests=8):
+    manager = CamManager(platform)
+    lbas = np.arange(requests, dtype=np.int64) * 8
+    batch = BatchRequest(lbas=lbas, granularity=4096, is_write=False)
+    platform.env.run(manager.ring(batch))
+    return manager
+
+
+def test_disabled_tracer_fast_path_records_nothing_in_a_real_run():
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    _run_cam_batch(platform)
+    # the default (null) tracer saw the whole instrumented path and
+    # still holds zero spans — the disabled path allocates none
+    assert platform.env.tracer is NULL_TRACER
+    assert platform.env.tracer.span_count == 0
+
+
+def test_enabled_tracer_records_the_full_span_vocabulary():
+    platform = Platform(PlatformConfig(num_ssds=2), functional=False)
+    tracer = install_tracer(platform.env)
+    _run_cam_batch(platform, requests=8)
+    names = {span.name for span in tracer.spans()}
+    assert names == {
+        "batch",
+        "doorbell_poll",
+        "submit",
+        "nvme_io",
+        "pcie_transfer",
+        "completion_signal",
+    }
+    analyzer = TraceAnalyzer(tracer)
+    counts = analyzer.count_by_name()
+    assert counts["batch"] == 1
+    assert counts["submit"] == 8
+    assert counts["nvme_io"] == 8
+    # every child links back to the batch span
+    batch = analyzer.batch_spans()[0]
+    for span in tracer.spans():
+        if span.name in ("doorbell_poll", "submit", "nvme_io"):
+            assert span.parent_id == batch.span_id
+
+
+def test_spans_nest_within_their_parents_in_time():
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    tracer = install_tracer(platform.env)
+    _run_cam_batch(platform, requests=4)
+    analyzer = TraceAnalyzer(tracer)
+    batch = analyzer.batch_spans()[0]
+    for child in analyzer.descendants(batch):
+        assert child.begin >= batch.begin - 1e-12
+        assert child.end <= batch.end + 1e-12
