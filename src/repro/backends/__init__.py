@@ -19,15 +19,24 @@ from repro.backends.planes import (
     KernelBackend,
     SpdkBackend,
 )
-
 __all__ = [
     "BamBackend",
     "CachedBackend",
     "CamBackend",
     "GdsBackend",
     "KernelBackend",
+    "ReplicatedBackend",
     "SpdkBackend",
     "StorageBackend",
     "make_backend",
     "measure_throughput",
 ]
+
+
+def __getattr__(name):
+    # lazy: repro.reliability.replica itself imports repro.backends.base
+    if name == "ReplicatedBackend":
+        from repro.reliability.replica import ReplicatedBackend
+
+        return ReplicatedBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,7 +20,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeviceTimeoutError
 from repro.hw.platform import Platform
 from repro.model.throughput import ThroughputModel
 
@@ -31,14 +31,70 @@ class StorageBackend:
     #: name understood by :class:`~repro.model.throughput.ThroughputModel`
     model_name = ""
 
-    def __init__(self, platform: Platform):
+    def __init__(self, platform: Platform, reliability=None):
         self.platform = platform
         self.env = platform.env
         self.model = ThroughputModel(platform.config)
+        #: optional :class:`~repro.reliability.Reliability` bundle; the
+        #: control planes that own drivers (spdk/cam/kernel) wire it
+        #: there, the simpler planes (bam/gds) use :meth:`_reliable_io`
+        self.reliability = reliability
 
     @property
     def name(self) -> str:
         return self.model_name
+
+    # -- shared reliability plumbing ---------------------------------------
+    def _resolve_ssd(self, lba: int, ssd_index: Optional[int]):
+        """(ssd_id, local_lba) a request will land on, mirroring the
+        drivers' own striping — needed to key retries and health."""
+        if ssd_index is not None:
+            return ssd_index, lba
+        ssd, local_lba = self.platform.ssd_for_lba(lba)
+        return ssd.ssd_id, local_lba
+
+    def _reliable_io(
+        self,
+        factory,
+        *,
+        ssd_id: int,
+        lba: int,
+        nbytes: int,
+        is_write: bool,
+    ) -> Generator:
+        """Process: drive ``factory()`` (one full inner attempt) under
+        :attr:`reliability` — retry loop plus a watchdog guard around the
+        whole attempt, so a swallowed command surfaces as a typed
+        timeout instead of a hang."""
+
+        def attempt():
+            return self._guarded_attempt(factory, nbytes, ssd_id)
+
+        try:
+            cqe = yield from self.reliability.run(
+                attempt, ssd_id=ssd_id, lba=lba, is_write=is_write
+            )
+        except DeviceTimeoutError:
+            self.reliability.health.mark_offline(ssd_id)
+            raise
+        return cqe
+
+    def _guarded_attempt(self, factory, nbytes: int, ssd_id: int) -> Generator:
+        watchdog = self.reliability.watchdog
+        if watchdog is None:
+            cqe = yield from factory()
+            return cqe
+        # guard the attempt as a process: a hung inner wait is abandoned
+        # (simulation-only leak) and the caller gets the typed error
+        child = self.env.process(factory())
+        cqe = yield from watchdog.guard(
+            child,
+            nbytes=nbytes,
+            ssd_ids=(ssd_id,),
+            fault_injector=self.platform.fault_injector,
+            description=f"{self.model_name or 'backend'} ssd {ssd_id}",
+        )
+        return cqe
 
     # -- per-request DES path ------------------------------------------------
     def io(

@@ -40,7 +40,7 @@ class CachedBackend(StorageBackend):
             raise ConfigurationError(
                 "cache must hold at least one page"
             )
-        super().__init__(inner.platform)
+        super().__init__(inner.platform, reliability=inner.reliability)
         self.inner = inner
         self.model_name = inner.model_name
         self.capacity_pages = capacity_bytes // page_bytes

@@ -38,18 +38,27 @@ class KernelBackend(StorageBackend):
         flavour: str = "posix",
         to_gpu: bool = False,
         threads: Optional[int] = None,
+        reliability=None,
     ):
-        super().__init__(platform)
+        super().__init__(platform, reliability=reliability)
         if flavour == "posix":
             num_ssds = platform.num_ssds
             default = min(16, platform.config.kernel_io.posix_threads * num_ssds)
-            self.stack = PosixStack(platform, threads=threads or default)
+            self.stack = PosixStack(
+                platform,
+                threads=threads or default,
+                reliability=reliability,
+            )
         elif flavour == "libaio":
-            self.stack = LibaioStack(platform)
+            self.stack = LibaioStack(platform, reliability=reliability)
         elif flavour == "io_uring int":
-            self.stack = IoUringStack(platform, poll_mode=False)
+            self.stack = IoUringStack(
+                platform, poll_mode=False, reliability=reliability
+            )
         elif flavour == "io_uring poll":
-            self.stack = IoUringStack(platform, poll_mode=True)
+            self.stack = IoUringStack(
+                platform, poll_mode=True, reliability=reliability
+            )
         else:
             raise ConfigurationError(f"unknown kernel flavour {flavour!r}")
         self.model_name = flavour
@@ -109,9 +118,12 @@ class SpdkBackend(StorageBackend):
         num_reactors: Optional[int] = None,
         to_gpu: bool = True,
         contiguous_dest: bool = True,
+        reliability=None,
     ):
-        super().__init__(platform)
-        self.driver = SpdkDriver(platform, num_reactors=num_reactors)
+        super().__init__(platform, reliability=reliability)
+        self.driver = SpdkDriver(
+            platform, num_reactors=num_reactors, reliability=reliability
+        )
         self.to_gpu = to_gpu
         self.contiguous_dest = contiguous_dest
 
@@ -170,8 +182,9 @@ class BamBackend(StorageBackend):
         platform: Platform,
         io_sms: Optional[int] = None,
         reserve_sms: bool = False,
+        reliability=None,
     ):
-        super().__init__(platform)
+        super().__init__(platform, reliability=reliability)
         self.system = BamSystem(platform, io_sms=io_sms)
         if reserve_sms:
             platform.env.run(
@@ -180,14 +193,32 @@ class BamBackend(StorageBackend):
 
     def io(self, lba, nbytes, is_write=False, payload=None, target=None,
            target_offset=0, ssd_index=None) -> Generator:
-        cqe = yield from self.system.io(
-            lba,
-            nbytes,
+        if self.reliability is None:
+            cqe = yield from self.system.io(
+                lba,
+                nbytes,
+                is_write=is_write,
+                payload=payload,
+                target=target,
+                target_offset=target_offset,
+                ssd_index=ssd_index,
+            )
+            return cqe
+        ssd_id, local_lba = self._resolve_ssd(lba, ssd_index)
+        cqe = yield from self._reliable_io(
+            lambda: self.system.io(
+                local_lba,
+                nbytes,
+                is_write=is_write,
+                payload=payload,
+                target=target,
+                target_offset=target_offset,
+                ssd_index=ssd_id,
+            ),
+            ssd_id=ssd_id,
+            lba=local_lba,
+            nbytes=nbytes,
             is_write=is_write,
-            payload=payload,
-            target=target,
-            target_offset=target_offset,
-            ssd_index=ssd_index,
         )
         return cqe
 
@@ -204,20 +235,38 @@ class GdsBackend(StorageBackend):
 
     model_name = "gds"
 
-    def __init__(self, platform: Platform):
-        super().__init__(platform)
+    def __init__(self, platform: Platform, reliability=None):
+        super().__init__(platform, reliability=reliability)
         self.driver = CuFileDriver(platform)
 
     def io(self, lba, nbytes, is_write=False, payload=None, target=None,
            target_offset=0, ssd_index=None) -> Generator:
-        cqe = yield from self.driver.io(
-            lba,
-            nbytes,
+        if self.reliability is None:
+            cqe = yield from self.driver.io(
+                lba,
+                nbytes,
+                is_write=is_write,
+                payload=payload,
+                target=target,
+                target_offset=target_offset,
+                ssd_index=ssd_index,
+            )
+            return cqe
+        ssd_id, local_lba = self._resolve_ssd(lba, ssd_index)
+        cqe = yield from self._reliable_io(
+            lambda: self.driver.io(
+                local_lba,
+                nbytes,
+                is_write=is_write,
+                payload=payload,
+                target=target,
+                target_offset=target_offset,
+                ssd_index=ssd_id,
+            ),
+            ssd_id=ssd_id,
+            lba=local_lba,
+            nbytes=nbytes,
             is_write=is_write,
-            payload=payload,
-            target=target,
-            target_offset=target_offset,
-            ssd_index=ssd_index,
         )
         return cqe
 
@@ -239,13 +288,15 @@ class CamBackend(StorageBackend):
         num_cores: Optional[int] = None,
         autotune: bool = False,
         max_batch_requests: int = 65536,
+        reliability=None,
     ):
-        super().__init__(platform)
+        super().__init__(platform, reliability=reliability)
         self.context = CamContext(
             platform,
             num_cores=num_cores,
             autotune=autotune,
             max_batch_requests=max_batch_requests,
+            reliability=reliability,
         )
         self.manager = self.context.manager
 

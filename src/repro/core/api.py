@@ -43,12 +43,17 @@ class CamContext:
         num_cores: Optional[int] = None,
         autotune: bool = True,
         config: Optional[CAMConfig] = None,
+        reliability=None,
     ):
         self.platform = platform
         self.env = platform.env
         self.config = config or platform.config.cam
+        self.reliability = reliability
         self.manager = CamManager(
-            platform, config=self.config, num_cores=num_cores
+            platform,
+            config=self.config,
+            num_cores=num_cores,
+            reliability=reliability,
         )
         self.autotuner = (
             CoreAutotuner(platform.num_ssds, config=self.config)

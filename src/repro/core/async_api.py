@@ -86,8 +86,12 @@ class CamAsyncAPI:
         """Process: block until the ticket's batch completed."""
         if ticket.ticket_id not in self._outstanding:
             raise APIUsageError(f"unknown or already-waited ticket {ticket}")
-        yield ticket.done
-        del self._outstanding[ticket.ticket_id]
+        try:
+            yield ticket.done
+        finally:
+            # a failed batch still consumes its ticket: waiting reaps the
+            # outcome either way, like joining a thread that raised
+            del self._outstanding[ticket.ticket_id]
 
     def wait_all(self) -> Generator:
         """Process: drain every outstanding ticket."""

@@ -19,7 +19,15 @@ from typing import Generator, List, Optional
 import numpy as np
 
 from repro.config import CAMConfig
-from repro.errors import APIUsageError, ConfigurationError
+from repro.errors import (
+    APIUsageError,
+    ConfigurationError,
+    DeviceError,
+    DeviceOfflineError,
+    DeviceTimeoutError,
+    MediaError,
+    RetryExhaustedError,
+)
 from repro.hw.platform import Platform
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Store
@@ -59,15 +67,21 @@ class CamManager:
         config: Optional[CAMConfig] = None,
         num_cores: Optional[int] = None,
         occupy_cores: bool = False,
+        reliability=None,
     ):
         self.platform = platform
         self.env = platform.env
         self.config = config or platform.config.cam
+        #: optional :class:`~repro.reliability.Reliability` bundle; the
+        #: driver retries/guards each request, the manager types the
+        #: batch-level failure
+        self.reliability = reliability
         max_cores = max(1, -(-platform.num_ssds // 2))  # ceil(N/2)
         self.driver = SpdkDriver(
             platform,
             num_reactors=num_cores or max_cores,
             occupy_cores=occupy_cores,
+            reliability=reliability,
         )
         self._active_reactors = self.driver.num_reactors
         self._inbox: Store = Store(self.env)
@@ -165,17 +179,58 @@ class CamManager:
         if batch.regions is not None:
             batch.regions.signal_completion()
         if failures:
-            from repro.errors import DeviceError
-
-            batch.done.fail(
-                DeviceError(
-                    f"{len(failures)} of {batch.request_count} requests "
-                    f"failed; first: lba {failures[0][0]} "
-                    f"status {failures[0][1]:#x}"
-                )
-            )
+            batch.done.fail(self._batch_error(batch, failures))
         else:
             batch.done.succeed(io_time)
+
+    def _batch_error(self, batch: BatchRequest, failures) -> DeviceError:
+        """Type the batch-level failure from the per-request records.
+
+        ``failures`` is a list of ``(lba, status, attempts, error)``;
+        ``error`` is the typed per-request exception when the driver
+        raised (watchdog timeouts), else ``None`` for error CQEs.
+        """
+        prefix = (
+            f"{len(failures)} of {batch.request_count} requests failed"
+        )
+        offline = [
+            error
+            for (_, _, _, error) in failures
+            if isinstance(error, DeviceOfflineError)
+        ]
+        if offline:
+            first = offline[0]
+            return DeviceOfflineError(
+                f"{prefix}; first: {first}",
+                ssd_id=first.ssd_id,
+                lba=first.lba,
+                attempts=first.attempts,
+                timeout=first.timeout,
+            )
+        timeouts = [
+            error
+            for (_, _, _, error) in failures
+            if isinstance(error, DeviceTimeoutError)
+        ]
+        if timeouts:
+            first = timeouts[0]
+            return DeviceTimeoutError(
+                f"{prefix}; first: {first}",
+                ssd_id=first.ssd_id,
+                lba=first.lba,
+                attempts=first.attempts,
+                timeout=first.timeout,
+            )
+        lba, status, attempts, _ = failures[0]
+        cls = MediaError if self.reliability is None else (
+            RetryExhaustedError
+        )
+        return cls(
+            f"{prefix}; first: lba {lba} status {status:#x}",
+            lba=lba,
+            status=status,
+            attempts=attempts,
+        )
 
     def _process_batch(self, batch: BatchRequest) -> Generator:
         """Fan the batch out over the SSDs and wait for every CQE."""
@@ -193,25 +248,50 @@ class CamManager:
                 payload = None
             children.append(
                 self.env.process(
-                    self.driver.io(
-                        int(lba),
-                        granularity,
-                        is_write=batch.is_write,
-                        payload=payload,
-                        target=batch.dest,
-                        target_offset=index * granularity,
-                        parent_span=batch.trace_span,
-                    )
+                    self._request(batch, index, payload)
                 )
             )
         results = yield self.env.all_of(children)
-        failures = [
-            (int(batch.lbas[index]), cqe.status)
-            for index, child in enumerate(children)
-            for cqe in [results[child]]
-            if cqe is not None and not cqe.ok
-        ]
+        failures = []
+        for index, child in enumerate(children):
+            outcome = results[child]
+            if isinstance(outcome, DeviceError):
+                failures.append(
+                    (
+                        int(batch.lbas[index]),
+                        getattr(outcome, "status", None) or 0,
+                        getattr(outcome, "attempts", 1),
+                        outcome,
+                    )
+                )
+            elif outcome is not None and not outcome.ok:
+                failures.append(
+                    (
+                        int(batch.lbas[index]),
+                        outcome.status,
+                        outcome.attempts,
+                        None,
+                    )
+                )
         return failures
+
+    def _request(self, batch: BatchRequest, index: int, payload) -> Generator:
+        """One fan-out request; typed device errors (watchdog timeouts)
+        become return values so a single bad request cannot kill the
+        whole batch process tree."""
+        try:
+            cqe = yield from self.driver.io(
+                int(batch.lbas[index]),
+                batch.granularity,
+                is_write=batch.is_write,
+                payload=payload,
+                target=batch.dest,
+                target_offset=index * batch.granularity,
+                parent_span=batch.trace_span,
+            )
+        except DeviceError as error:
+            return error
+        return cqe
 
     def achieved_throughput(self) -> float:
         """Bytes/second over the observation window."""

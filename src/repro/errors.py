@@ -34,6 +34,53 @@ class DeviceError(ReproError):
     """A simulated hardware device rejected an operation."""
 
 
+class MediaError(DeviceError):
+    """An unrecovered media error (non-zero NVMe CQE status).
+
+    Carries enough context for callers to decide whether the failure is
+    retryable (``status``), where it happened (``ssd_id``/``lba``) and
+    how hard the control plane already tried (``attempts``).
+    """
+
+    def __init__(self, message, *, ssd_id=None, lba=None, status=None,
+                 attempts=1):
+        super().__init__(message)
+        self.ssd_id = ssd_id
+        self.lba = lba
+        self.status = status
+        self.attempts = attempts
+
+
+class RetryExhaustedError(MediaError):
+    """A retryable fault persisted past the retry policy's budget.
+
+    Distinguishes "the device said no once" (:class:`MediaError`) from
+    "we retried ``attempts`` times and it still fails" — the latter is
+    fatal to the request, not merely transient.
+    """
+
+
+class DeviceTimeoutError(DeviceError, TimeoutError):
+    """A completion never arrived within the watchdog's deadline.
+
+    Subclasses :class:`ReproError` (via :class:`DeviceError`) *and* the
+    built-in :class:`TimeoutError` so generic timeout handling works.
+    """
+
+    def __init__(self, message, *, ssd_id=None, lba=None, attempts=1,
+                 timeout=None):
+        super().__init__(message)
+        self.ssd_id = ssd_id
+        self.lba = lba
+        self.attempts = attempts
+        self.timeout = timeout
+
+
+class DeviceOfflineError(DeviceTimeoutError):
+    """The target device is offline (dropped off the bus or its circuit
+    breaker is open); the request cannot complete until it returns."""
+
+
 class InvalidLBAError(DeviceError):
     """An I/O request targeted a logical block address outside the device."""
 

@@ -42,6 +42,7 @@ EXTRAS: Dict[str, str] = {
     "host_cache": "repro.experiments.extras:run_host_cache",
     "paper_scale_gnn": "repro.experiments.extras:run_paper_scale_gnn",
     "ssd_character": "repro.experiments.extras:run_ssd_character",
+    "reliability": "repro.experiments.extras:run_reliability",
 }
 
 

@@ -66,6 +66,9 @@ class CQE:
     status: int = 0  # 0 == success
     value: Any = None
     complete_time: float = 0.0
+    #: device attempts the control plane spent on this command (set by
+    #: reliability-aware drivers; 1 means first-try)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:

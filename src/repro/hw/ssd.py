@@ -192,6 +192,19 @@ class SSD:
             # validate range up-front so bad requests fail loudly
             self.store._check_range(offset, nbytes)
 
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.is_offline(self.ssd_id)
+        ):
+            # the device dropped off the bus: the command is swallowed and
+            # no CQE ever arrives — a completion watchdog
+            # (repro.reliability) is the only way the host learns
+            self.fault_injector.offline_drops += 1
+            self.faults_reported += 1
+            if span is not None:
+                tracer.end(span, offline=True)
+            return
+
         if self.fault_injector is not None:
             status = self.fault_injector.check(
                 self.ssd_id, sqe.lba, sqe.num_blocks, is_write
@@ -257,8 +270,15 @@ class SSD:
         with self._channels.request() as channel:
             yield channel
             transfer = nbytes / self._channel_bw[is_write]
+            # health episodes (GC pauses, thermal throttling) stretch the
+            # media time by the injector's active latency factor
+            factor = 1.0
+            if self.fault_injector is not None:
+                factor = self.fault_injector.latency_factor(
+                    self.ssd_id, self.env.now
+                )
             yield self.env.timeout(
-                self.config.media_latency(is_write) + transfer
+                (self.config.media_latency(is_write) + transfer) * factor
             )
 
     def _deliver(self, sqe: SQE, data: np.ndarray):

@@ -41,6 +41,14 @@ SPAN_KINDS: Tuple[str, ...] = (
     "nvme_io",
     "pcie_transfer",
     "completion_signal",
+    # reliability subsystem (repro.reliability)
+    "retry",
+    "watchdog_timeout",
+    "breaker_trip",
+    "breaker_reset",
+    "degraded_read",
+    "rebuild",
+    "rebuild_done",
 )
 
 #: default ring-buffer capacity (spans); enough for the quick experiment

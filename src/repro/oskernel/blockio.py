@@ -92,8 +92,19 @@ class BlockLayer:
         ]
         self.requests_submitted = Counter(env)
 
-    def submit_and_wait(self, ssd_index: int, sqe: SQE) -> Generator:
-        """Process: dispatch ``sqe`` to SSD ``ssd_index``, wait for the CQE."""
+    def submit_and_wait(
+        self,
+        ssd_index: int,
+        sqe: SQE,
+        watchdog=None,
+        fault_injector=None,
+    ) -> Generator:
+        """Process: dispatch ``sqe`` to SSD ``ssd_index``, wait for the CQE.
+
+        With a :class:`~repro.reliability.CompletionWatchdog` the wait is
+        deadline-bounded and raises a typed timeout instead of hanging on
+        a device that never answers.
+        """
         if not 0 <= ssd_index < len(self.ssds):
             raise SimulationError(f"no SSD {ssd_index}")
         qp = self._qps[ssd_index]
@@ -101,7 +112,17 @@ class BlockLayer:
         done = dispatcher.register(sqe.command_id)
         self.requests_submitted.add()
         yield qp.submit(sqe)
-        cqe = yield done
+        if watchdog is not None:
+            ssd = self.ssds[ssd_index]
+            cqe = yield from watchdog.guard(
+                done,
+                nbytes=sqe.nbytes(ssd.config.block_size),
+                ssd_ids=(ssd_index,),
+                fault_injector=fault_injector,
+                description=f"blockio ssd {ssd_index} lba {sqe.lba}",
+            )
+        else:
+            cqe = yield done
         return cqe
 
     def queue_pair(self, ssd_index: int):

@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
 from repro.config import KernelIOConfig, LibaioCostConfig
-from repro.errors import SimulationError
+from repro.errors import (
+    DeviceTimeoutError,
+    MediaError,
+    RetryExhaustedError,
+    SimulationError,
+)
 from repro.hw.cpu import CycleAccountant
 from repro.hw.nvme import SQE, NVMeOpcode
 from repro.hw.platform import Platform
@@ -79,10 +84,14 @@ class KernelStack:
         completion_cost: float,
         submit_threads: int,
         config: Optional[KernelIOConfig] = None,
+        reliability=None,
     ):
         self.platform = platform
         self.env = platform.env
         self.config = config or platform.config.kernel_io
+        #: optional :class:`~repro.reliability.Reliability` bundle; None
+        #: keeps the original fail-fast -EIO behaviour
+        self.reliability = reliability
         self.iomap = IOMapper(self.env, self.config)
         #: serializes submission-side CPU work across the stack's threads
         self._submit_cpu = Resource(self.env, capacity=max(1, submit_threads))
@@ -160,23 +169,38 @@ class KernelStack:
                 if span is not None:
                     tracer.end(span)
 
-        opcode = NVMeOpcode.WRITE if is_write else NVMeOpcode.READ
-        sqe = SQE(
-            opcode=opcode,
-            lba=local_lba,
-            num_blocks=num_blocks,
-            payload=payload,
-            target=target,
-            target_offset=target_offset,
-        )
-        cqe = yield from self.block_layer.submit_and_wait(ssd_index, sqe)
+        def attempt():
+            return self._device_attempt(
+                ssd_index, local_lba, num_blocks,
+                is_write, payload, target, target_offset,
+            )
+
+        if self.reliability is None:
+            cqe = yield from attempt()
+        else:
+            try:
+                cqe = yield from self.reliability.run(
+                    attempt,
+                    ssd_id=ssd_index,
+                    lba=local_lba,
+                    is_write=is_write,
+                )
+            except DeviceTimeoutError:
+                # the watchdog expired: the device is not answering
+                self.reliability.health.mark_offline(ssd_index)
+                raise
         if not cqe.ok:
             # pread/pwrite surface device errors as -EIO to the caller
-            from repro.errors import DeviceError
-
-            raise DeviceError(
+            cls = MediaError if self.reliability is None else (
+                RetryExhaustedError
+            )
+            raise cls(
                 f"{self.name}: device reported status {cqe.status:#x} "
-                f"for lba {local_lba} on SSD {ssd_index}"
+                f"for lba {local_lba} on SSD {ssd_index}",
+                ssd_id=ssd_index,
+                lba=local_lba,
+                status=cqe.status,
+                attempts=cqe.attempts,
             )
 
         # the DMA landed in host memory: account the DRAM crossing
@@ -204,6 +228,40 @@ class KernelStack:
         self.bytes_done.add(nbytes)
         return cqe
 
+    def _device_attempt(
+        self,
+        ssd_index: int,
+        local_lba: int,
+        num_blocks: int,
+        is_write: bool,
+        payload,
+        target,
+        target_offset: int,
+    ) -> Generator:
+        """One device attempt with a fresh SQE (retries must not reuse
+        command ids: a timed-out command's waiter stays registered)."""
+        opcode = NVMeOpcode.WRITE if is_write else NVMeOpcode.READ
+        sqe = SQE(
+            opcode=opcode,
+            lba=local_lba,
+            num_blocks=num_blocks,
+            payload=payload,
+            target=target,
+            target_offset=target_offset,
+        )
+        watchdog = (
+            self.reliability.watchdog
+            if self.reliability is not None
+            else None
+        )
+        cqe = yield from self.block_layer.submit_and_wait(
+            ssd_index,
+            sqe,
+            watchdog=watchdog,
+            fault_injector=self.platform.fault_injector,
+        )
+        return cqe
+
     @property
     def concurrency(self) -> int:
         """Natural number of in-flight requests for peak throughput."""
@@ -220,7 +278,12 @@ class PosixStack(KernelStack):
 
     name = "posix"
 
-    def __init__(self, platform: Platform, threads: Optional[int] = None):
+    def __init__(
+        self,
+        platform: Platform,
+        threads: Optional[int] = None,
+        reliability=None,
+    ):
         config = platform.config.kernel_io
         threads = threads or config.posix_threads
         super().__init__(
@@ -228,6 +291,7 @@ class PosixStack(KernelStack):
             completion_cost=config.interrupt_time,
             submit_threads=threads,
             config=config,
+            reliability=reliability,
         )
         self.threads = threads
         #: a pread blocks its calling thread for the whole round trip, so
@@ -269,6 +333,7 @@ class LibaioStack(KernelStack):
         queue_depth: Optional[int] = None,
         batch_size: int = 32,
         cost_model: Optional[LibaioCostConfig] = None,
+        reliability=None,
     ):
         config = platform.config.kernel_io
         super().__init__(
@@ -276,6 +341,7 @@ class LibaioStack(KernelStack):
             completion_cost=config.interrupt_time,
             submit_threads=config.libaio_threads,
             config=config,
+            reliability=reliability,
         )
         self.queue_depth = queue_depth or config.libaio_queue_depth
         self.batch_size = max(1, batch_size)
@@ -330,6 +396,7 @@ class IoUringStack(KernelStack):
         poll_mode: bool = False,
         queue_depth: Optional[int] = None,
         fixed_buffers: bool = False,
+        reliability=None,
     ):
         config = platform.config.kernel_io
         completion_cost = (
@@ -340,6 +407,7 @@ class IoUringStack(KernelStack):
             completion_cost=completion_cost,
             submit_threads=config.io_uring_threads,
             config=config,
+            reliability=reliability,
         )
         self.poll_mode = poll_mode
         self.fixed_buffers = fixed_buffers

@@ -1,0 +1,37 @@
+"""Reliability subsystem: retries, timeouts, device health, replication.
+
+The CAM paper's control planes assume devices that always answer; this
+package adds the machinery real deployments need (ISSUE 2):
+
+* :class:`~repro.reliability.policy.RetryPolicy` — bounded, budgeted
+  exponential backoff with deterministic jitter in sim-time;
+* :class:`~repro.reliability.watchdog.CompletionWatchdog` — deadlines on
+  completion waits, turning hangs into typed errors;
+* :class:`~repro.reliability.health.HealthTracker` — per-SSD health
+  states with a circuit breaker;
+* :class:`~repro.reliability.manager.Reliability` — the bundle control
+  planes consume (pass ``reliability=`` to any backend factory);
+* :class:`~repro.reliability.replica.ReplicatedBackend` — mirror pairs
+  with degraded reads and hot-spare rebuild, composable under any
+  backend.
+"""
+
+from repro.reliability.health import (
+    DeviceHealth,
+    HealthState,
+    HealthTracker,
+)
+from repro.reliability.manager import Reliability
+from repro.reliability.policy import RetryPolicy
+from repro.reliability.replica import ReplicatedBackend
+from repro.reliability.watchdog import CompletionWatchdog
+
+__all__ = [
+    "CompletionWatchdog",
+    "DeviceHealth",
+    "HealthState",
+    "HealthTracker",
+    "Reliability",
+    "ReplicatedBackend",
+    "RetryPolicy",
+]

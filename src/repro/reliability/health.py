@@ -1,0 +1,184 @@
+"""Per-SSD health model: states, failure accounting, circuit breaker.
+
+Every device moves through a small state machine:
+
+* ``HEALTHY`` — answering normally;
+* ``DEGRADED`` — recent failures below the breaker threshold (retries
+  are still worth it, but a replica read may be cheaper);
+* ``TRIPPED`` — the circuit breaker opened after ``failure_threshold``
+  consecutive failures: requests are refused locally for
+  ``breaker_cooldown`` sim-seconds instead of burning retries against a
+  device that keeps failing;
+* ``OFFLINE`` — the device was observed not answering at all (watchdog
+  timeout or an explicit :meth:`HealthTracker.mark_offline`).
+
+After the cooldown the breaker goes *half-open*: exactly one trial
+request is allowed through; success closes the breaker, failure re-trips
+it for another cooldown.  Trips and resets emit ``breaker_trip`` /
+``breaker_reset`` instants through the environment's tracer.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import Counter
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    TRIPPED = "tripped"
+    OFFLINE = "offline"
+
+
+class DeviceHealth:
+    """Mutable health record for one SSD."""
+
+    __slots__ = (
+        "ssd_id",
+        "state",
+        "consecutive_failures",
+        "total_failures",
+        "total_successes",
+        "open_until",
+        "half_open",
+        "last_status",
+    )
+
+    def __init__(self, ssd_id: int):
+        self.ssd_id = ssd_id
+        self.state = HealthState.HEALTHY
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_successes = 0
+        #: sim-time until which the breaker refuses requests
+        self.open_until: Optional[float] = None
+        #: True while the one half-open trial request is outstanding
+        self.half_open = False
+        self.last_status: Optional[int] = None
+
+
+class HealthTracker:
+    """Tracks every device's health and trips circuit breakers."""
+
+    def __init__(
+        self,
+        env,
+        num_ssds: int,
+        failure_threshold: int = 5,
+        degraded_after: int = 2,
+        breaker_cooldown: float = 5e-3,
+    ):
+        if num_ssds < 1:
+            raise ConfigurationError("need at least one SSD")
+        if failure_threshold < 1 or degraded_after < 1:
+            raise ConfigurationError("thresholds must be >= 1")
+        if degraded_after > failure_threshold:
+            raise ConfigurationError(
+                "degraded_after must not exceed failure_threshold"
+            )
+        self.env = env
+        self.failure_threshold = failure_threshold
+        self.degraded_after = degraded_after
+        self.breaker_cooldown = breaker_cooldown
+        self._devices: Dict[int, DeviceHealth] = {
+            ssd_id: DeviceHealth(ssd_id) for ssd_id in range(num_ssds)
+        }
+        self.breaker_trips = Counter(env)
+        self.breaker_resets = Counter(env)
+
+    def device(self, ssd_id: int) -> DeviceHealth:
+        record = self._devices.get(ssd_id)
+        if record is None:
+            record = DeviceHealth(ssd_id)
+            self._devices[ssd_id] = record
+        return record
+
+    def state(self, ssd_id: int) -> HealthState:
+        return self.device(ssd_id).state
+
+    # -- observations ---------------------------------------------------
+    def record_success(self, ssd_id: int) -> None:
+        record = self.device(ssd_id)
+        record.total_successes += 1
+        record.consecutive_failures = 0
+        if record.state in (HealthState.TRIPPED, HealthState.OFFLINE):
+            # the half-open trial (or an explicit probe) succeeded
+            record.open_until = None
+            record.half_open = False
+            self.breaker_resets.add()
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.instant("breaker_reset", ssd=ssd_id)
+        record.state = HealthState.HEALTHY
+
+    def record_failure(self, ssd_id: int, status: int = 0) -> None:
+        record = self.device(ssd_id)
+        record.total_failures += 1
+        record.consecutive_failures += 1
+        record.last_status = status
+        if record.half_open:
+            # the trial request failed: re-open for another cooldown
+            record.half_open = False
+            self._trip(record)
+            return
+        if record.state is HealthState.OFFLINE:
+            return
+        if record.consecutive_failures >= self.failure_threshold:
+            self._trip(record)
+        elif record.consecutive_failures >= self.degraded_after:
+            record.state = HealthState.DEGRADED
+
+    def mark_offline(self, ssd_id: int) -> None:
+        """An observer (watchdog) saw the device not answering at all."""
+        record = self.device(ssd_id)
+        if record.state is not HealthState.OFFLINE:
+            record.state = HealthState.OFFLINE
+            record.open_until = self.env.now + self.breaker_cooldown
+            self.breaker_trips.add()
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.instant("breaker_trip", ssd=ssd_id, offline=True)
+
+    def _trip(self, record: DeviceHealth) -> None:
+        record.state = HealthState.TRIPPED
+        record.open_until = self.env.now + self.breaker_cooldown
+        self.breaker_trips.add()
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "breaker_trip",
+                ssd=record.ssd_id,
+                failures=record.consecutive_failures,
+            )
+
+    # -- admission ------------------------------------------------------
+    def allow(self, ssd_id: int) -> bool:
+        """May a request be sent to ``ssd_id`` right now?
+
+        ``True`` while healthy/degraded; ``False`` while the breaker is
+        open.  Once the cooldown elapsed, exactly one trial request is
+        let through (half-open); its outcome closes or re-trips the
+        breaker via :meth:`record_success` / :meth:`record_failure`.
+        """
+        record = self.device(ssd_id)
+        if record.state in (HealthState.HEALTHY, HealthState.DEGRADED):
+            return True
+        if record.half_open:
+            return False  # a trial is already in flight
+        if record.open_until is not None and (
+            self.env.now >= record.open_until
+        ):
+            record.half_open = True
+            return True
+        return False
+
+    def snapshot(self) -> Dict[int, str]:
+        """Health state per device (for reports and assertions)."""
+        return {
+            ssd_id: record.state.value
+            for ssd_id, record in sorted(self._devices.items())
+        }

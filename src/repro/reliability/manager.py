@@ -1,0 +1,128 @@
+"""The reliability bundle every control plane consumes.
+
+One :class:`Reliability` object per platform couples the three
+mechanisms of ISSUE 2 — a :class:`~repro.reliability.policy.RetryPolicy`,
+a :class:`~repro.reliability.health.HealthTracker` (circuit breaker) and
+a :class:`~repro.reliability.watchdog.CompletionWatchdog` — behind a
+single retry loop, :meth:`Reliability.run`, shared by CAM's manager, the
+SPDK driver, the kernel stacks and the BaM/GDS backends.  Passing
+``reliability=None`` (the default everywhere) keeps every control plane
+byte-for-byte on its original behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.reliability.health import HealthTracker
+from repro.reliability.policy import RetryPolicy
+from repro.reliability.watchdog import CompletionWatchdog
+from repro.sim.stats import Counter
+
+
+class Reliability:
+    """Retries + health + watchdog for one platform.
+
+    Parameters
+    ----------
+    platform:
+        The :class:`~repro.hw.platform.Platform` whose devices are
+        guarded (supplies the environment, SSD count and fault
+        injector).
+    policy / health / watchdog:
+        Override any part; sensible defaults are built otherwise.
+        ``watchdog=None`` with ``watchdog_timeout=None`` disables
+        deadline supervision while keeping retries.
+    """
+
+    def __init__(
+        self,
+        platform,
+        policy: Optional[RetryPolicy] = None,
+        health: Optional[HealthTracker] = None,
+        watchdog: Optional[CompletionWatchdog] = None,
+        watchdog_timeout: Optional[float] = 50e-3,
+    ):
+        self.platform = platform
+        self.env = platform.env
+        self.policy = policy or RetryPolicy()
+        self.health = health or HealthTracker(
+            self.env, platform.num_ssds
+        )
+        if watchdog is None and watchdog_timeout is not None:
+            watchdog = CompletionWatchdog(
+                self.env, timeout=watchdog_timeout
+            )
+        self.watchdog = watchdog
+        self.retries = Counter(self.env)
+        self.fail_fasts = Counter(self.env)
+
+    @property
+    def fault_injector(self):
+        return self.platform.fault_injector
+
+    def allow(self, ssd_id: int) -> bool:
+        """Circuit-breaker admission for one device."""
+        return self.health.allow(ssd_id)
+
+    def run(
+        self,
+        attempt: Callable[[], Generator],
+        *,
+        ssd_id: int,
+        lba: int = 0,
+        is_write: bool = False,
+        parent_span=None,
+    ) -> Generator:
+        """Process: drive ``attempt`` (a generator factory returning a
+        CQE) under the retry policy.
+
+        Returns the final CQE — successful, or the last failure once the
+        policy's attempt cap or backoff budget ran out, or the breaker
+        refused further attempts.  The CQE's ``attempts`` field records
+        how many device attempts were spent.  Each backoff emits a
+        ``retry`` span so traces show recovery happening.
+        """
+        policy = self.policy
+        attempts = 0
+        spent = 0.0
+        while True:
+            attempts += 1
+            cqe = yield from attempt()
+            if cqe is None:
+                return cqe
+            if cqe.ok:
+                cqe.attempts = attempts
+                self.health.record_success(ssd_id)
+                return cqe
+            self.health.record_failure(ssd_id, cqe.status)
+            if not policy.should_retry(attempts, spent, is_write):
+                cqe.attempts = attempts
+                return cqe
+            if not self.health.allow(ssd_id):
+                # breaker open: stop burning attempts on a sick device
+                self.fail_fasts.add()
+                cqe.attempts = attempts
+                return cqe
+            delay = policy.backoff(
+                attempts, ssd_id=ssd_id, lba=lba, is_write=is_write
+            )
+            spent += delay
+            self.retries.add()
+            tracer = self.env.tracer
+            span = (
+                tracer.begin(
+                    "retry",
+                    parent=parent_span,
+                    ssd=ssd_id,
+                    lba=lba,
+                    attempt=attempts,
+                    status=cqe.status,
+                    is_write=is_write,
+                )
+                if tracer.enabled
+                else None
+            )
+            yield self.env.timeout(delay)
+            if span is not None:
+                tracer.end(span, delay=delay)

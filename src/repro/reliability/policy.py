@@ -1,0 +1,108 @@
+"""Retry policy: bounded, budgeted exponential backoff in sim-time.
+
+Design constraints:
+
+* **Deterministic.**  The simulation must replay identically run-to-run,
+  so jitter comes from an FNV-1a hash of ``(ssd, lba, attempt)`` rather
+  than an RNG whose state would depend on call order.
+* **Per-op-type budgets.**  Writes ride a slower device path (82 us vs
+  15 us media) and block more resources while pending, so they get their
+  own attempt cap and cumulative-backoff budget.
+* **Bounded.**  Both the attempt count and the total seconds spent
+  backing off are capped; whichever runs out first ends the retries and
+  the caller surfaces :class:`~repro.errors.RetryExhaustedError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import US
+
+
+def _hash_unit(*parts: int) -> float:
+    """Deterministic pseudo-random float in [0, 1) from integer parts
+    (FNV-1a, so retries don't disturb the simulation's RNG streams)."""
+    value = 2166136261
+    for part in parts:
+        value ^= part & 0xFFFFFFFF
+        value = (value * 16777619) & 0xFFFFFFFF
+    return value / 2.0 ** 32
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and per-op budgets.
+
+    ``max_attempts_*`` counts total attempts including the first one, so
+    ``max_attempts_read=4`` means at most three retries.
+    """
+
+    max_attempts_read: int = 4
+    max_attempts_write: int = 3
+    #: first backoff delay; grows by ``backoff_factor`` per retry
+    base_delay: float = 10 * US
+    backoff_factor: float = 2.0
+    #: ceiling for one backoff step
+    max_delay: float = 2e-3
+    #: jitter added on top of each step, as a fraction of the step
+    jitter_fraction: float = 0.25
+    #: cumulative backoff budget per operation (seconds of sim-time)
+    retry_budget_read: float = 10e-3
+    retry_budget_write: float = 20e-3
+
+    def __post_init__(self):
+        if self.max_attempts_read < 1 or self.max_attempts_write < 1:
+            raise ConfigurationError("max attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                "need 0 <= base_delay <= max_delay"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1]")
+
+    def max_attempts(self, is_write: bool) -> int:
+        return self.max_attempts_write if is_write else (
+            self.max_attempts_read
+        )
+
+    def budget(self, is_write: bool) -> float:
+        return self.retry_budget_write if is_write else (
+            self.retry_budget_read
+        )
+
+    def backoff(
+        self,
+        attempt: int,
+        *,
+        ssd_id: int = 0,
+        lba: int = 0,
+        is_write: bool = False,
+    ) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        step = min(
+            self.max_delay,
+            self.base_delay * self.backoff_factor ** (attempt - 1),
+        )
+        jitter = step * self.jitter_fraction * _hash_unit(
+            ssd_id, lba, attempt, int(is_write)
+        )
+        return step + jitter
+
+    def should_retry(
+        self, attempt: int, spent: float, is_write: bool
+    ) -> bool:
+        """True if another attempt fits the attempt cap and the budget.
+
+        ``attempt`` is the number of attempts already made; ``spent`` the
+        backoff seconds already consumed.
+        """
+        return (
+            attempt < self.max_attempts(is_write)
+            and spent < self.budget(is_write)
+        )

@@ -1,0 +1,334 @@
+"""Replicated virtual device: mirror pairs + hot-spare rebuild.
+
+:class:`ReplicatedBackend` composes under any
+:class:`~repro.backends.base.StorageBackend` (the same wrapper idiom as
+:class:`~repro.backends.cache.CachedBackend`): the platform's SSDs are
+organised as mirror pairs ``(0,1), (2,3), ...`` plus ``spares`` trailing
+hot spares that take no primary traffic.
+
+Layout
+------
+The backend stripes globally over the *data* devices itself (so spares
+stay idle) and halves each device: primary extents live in the lower
+half of the LBA space, the partner's replica extents in the upper half
+(``replica LBA = primary LBA + capacity/2``).  Effective capacity is
+therefore half the raw data-device capacity, as on any mirror.
+
+Failure handling
+----------------
+* a **write** lands on both copies in parallel; it succeeds if at least
+  one copy persisted (classic RAID1), degraded legs feed the health
+  model via the control plane underneath;
+* a **read** that fails on the primary (media error CQE, typed error, or
+  watchdog timeout) is retried from the partner's replica extent under a
+  ``degraded_read`` span;
+* an **offline primary** (per the fault injector) triggers automatic
+  fail-over: traffic remaps to a hot spare while a background process
+  rebuilds the written extents from the surviving replica, emitting
+  ``rebuild`` spans and a final ``rebuild_done`` instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.backends.base import StorageBackend
+from repro.errors import ConfigurationError, DeviceError, InvalidLBAError
+from repro.sim.stats import Counter
+
+
+class ReplicatedBackend(StorageBackend):
+    """Mirror-pair replication over any inner backend."""
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        spares: int = 0,
+        rebuild_chunk_blocks: int = 256,
+    ):
+        super().__init__(inner.platform, reliability=inner.reliability)
+        num_data = inner.platform.num_ssds - spares
+        if spares < 0:
+            raise ConfigurationError("spares must be >= 0")
+        if num_data < 2 or num_data % 2:
+            raise ConfigurationError(
+                "replication needs an even number (>= 2) of data SSDs "
+                f"after reserving spares (have {num_data})"
+            )
+        self.inner = inner
+        self.model_name = inner.model_name
+        self.num_data = num_data
+        block_size = self.platform.config.ssd.block_size
+        capacity_blocks = (
+            self.platform.config.ssd.capacity_bytes // block_size
+        )
+        #: replica extents live above this local LBA on the partner
+        self.replica_base = capacity_blocks // 2
+        self.rebuild_chunk_blocks = rebuild_chunk_blocks
+        #: logical data-device id -> physical SSD index (fail-over remaps)
+        self._active: Dict[int, int] = {
+            logical: logical for logical in range(num_data)
+        }
+        self._spares: List[int] = list(
+            range(num_data, inner.platform.num_ssds)
+        )
+        #: logical device -> written (local_lba, num_blocks) extents,
+        #: bounding rebuild work to data that actually exists
+        self._written: Dict[int, Set[Tuple[int, int]]] = {
+            logical: set() for logical in range(num_data)
+        }
+        self._rebuilding: Set[int] = set()
+        self._rebuild_copied = 0
+        self._rebuild_total = 0
+        self.degraded_reads = Counter(self.env)
+        self.degraded_writes = Counter(self.env)
+        self.rebuilds = Counter(self.env)
+        self.failovers = Counter(self.env)
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+mirror"
+
+    # -- addressing -----------------------------------------------------
+    def _phys(self, logical: int) -> int:
+        return self._active[logical]
+
+    def _partner(self, logical: int) -> int:
+        return logical ^ 1
+
+    def _map(self, lba: int, num_blocks: int) -> Tuple[int, int]:
+        """Own RAID0 striping over the data devices only."""
+        stripe_blocks = self.platform.stripe_blocks
+        stripe, offset = divmod(lba, stripe_blocks)
+        logical = stripe % self.num_data
+        local = (stripe // self.num_data) * stripe_blocks + offset
+        if local + num_blocks > self.replica_base:
+            raise InvalidLBAError(
+                f"LBA {lba} maps beyond the mirrored half "
+                f"({self.replica_base} blocks) of device {logical}"
+            )
+        return logical, local
+
+    def _blocks(self, nbytes: int) -> int:
+        block_size = self.platform.config.ssd.block_size
+        return max(1, -(-nbytes // block_size))
+
+    # -- I/O ------------------------------------------------------------
+    def io(
+        self,
+        lba: int,
+        nbytes: int,
+        is_write: bool = False,
+        payload=None,
+        target=None,
+        target_offset: int = 0,
+        ssd_index: Optional[int] = None,
+    ) -> Generator:
+        if ssd_index is not None:
+            # explicit device addressing bypasses replication entirely
+            cqe = yield from self.inner.io(
+                lba, nbytes, is_write=is_write, payload=payload,
+                target=target, target_offset=target_offset,
+                ssd_index=ssd_index,
+            )
+            return cqe
+        num_blocks = self._blocks(nbytes)
+        logical, local = self._map(lba, num_blocks)
+        if is_write:
+            cqe = yield from self._write(
+                logical, local, num_blocks, nbytes, payload
+            )
+        else:
+            cqe = yield from self._read(
+                logical, local, num_blocks, nbytes, target, target_offset
+            )
+        return cqe
+
+    def _attempt(
+        self,
+        lba: int,
+        nbytes: int,
+        is_write: bool,
+        phys: int,
+        payload=None,
+        target=None,
+        target_offset: int = 0,
+    ) -> Generator:
+        """One leg; never raises — returns (cqe_or_None, error_or_None)
+        so mirror fan-out and fallbacks can inspect both outcomes."""
+        try:
+            cqe = yield from self.inner.io(
+                lba, nbytes, is_write=is_write, payload=payload,
+                target=target, target_offset=target_offset, ssd_index=phys,
+            )
+        except DeviceError as error:
+            return None, error
+        if cqe is not None and not cqe.ok:
+            return cqe, None
+        return cqe, None
+
+    @staticmethod
+    def _leg_ok(result) -> bool:
+        cqe, error = result
+        return error is None and (cqe is None or cqe.ok)
+
+    def _write(
+        self, logical: int, local: int, num_blocks: int, nbytes: int,
+        payload,
+    ) -> Generator:
+        partner = self._partner(logical)
+        primary = self.env.process(
+            self._attempt(
+                local, nbytes, True, self._phys(logical), payload=payload
+            )
+        )
+        replica = self.env.process(
+            self._attempt(
+                local + self.replica_base, nbytes, True,
+                self._phys(partner), payload=payload,
+            )
+        )
+        yield self.env.all_of([primary, replica])
+        self._written[logical].add((local, num_blocks))
+        primary_ok = self._leg_ok(primary.value)
+        replica_ok = self._leg_ok(replica.value)
+        if primary_ok and replica_ok:
+            return primary.value[0]
+        if primary_ok or replica_ok:
+            # one copy persisted: the mirror absorbs the failure
+            self.degraded_writes.add()
+            good = primary.value if primary_ok else replica.value
+            return good[0]
+        cqe, error = primary.value
+        if error is not None:
+            raise error
+        return cqe
+
+    def _read(
+        self, logical: int, local: int, num_blocks: int, nbytes: int,
+        target, target_offset: int,
+    ) -> Generator:
+        primary_phys = self._phys(logical)
+        cqe, error = yield from self._attempt(
+            local, nbytes, False, primary_phys,
+            target=target, target_offset=target_offset,
+        )
+        if error is None and (cqe is None or cqe.ok):
+            return cqe
+        # primary failed: serve from the partner's replica extent
+        self.degraded_reads.add()
+        partner_phys = self._phys(self._partner(logical))
+        tracer = self.env.tracer
+        span = (
+            tracer.begin(
+                "degraded_read",
+                ssd=partner_phys,
+                failed_ssd=primary_phys,
+                lba=local,
+                bytes=nbytes,
+            )
+            if tracer.enabled
+            else None
+        )
+        fallback, fb_error = yield from self._attempt(
+            local + self.replica_base, nbytes, False, partner_phys,
+            target=target, target_offset=target_offset,
+        )
+        if span is not None:
+            tracer.end(span, ok=fb_error is None)
+        self._maybe_failover(logical)
+        if fb_error is not None:
+            raise fb_error
+        if fallback is not None and not fallback.ok:
+            if error is not None:
+                raise error
+            return cqe
+        return fallback
+
+    # -- fail-over + rebuild --------------------------------------------
+    def _maybe_failover(self, logical: int) -> None:
+        """Auto fail-over when the primary is observed offline."""
+        injector = self.platform.fault_injector
+        if injector is None or logical in self._rebuilding:
+            return
+        if injector.is_offline(self._phys(logical)) and self._spares:
+            self.fail_device(logical)
+
+    def fail_device(self, logical: int):
+        """Remap ``logical`` to a hot spare and rebuild in the background.
+
+        Returns the rebuild :class:`~repro.sim.core.Process` (so tests
+        can ``env.run`` it) or ``None`` when no spare is free or a
+        rebuild is already running for this device.
+        """
+        if not 0 <= logical < self.num_data:
+            raise ConfigurationError(f"no data device {logical}")
+        if logical in self._rebuilding or not self._spares:
+            return None
+        spare = self._spares.pop(0)
+        self._rebuilding.add(logical)
+        self._active[logical] = spare
+        self.failovers.add()
+        return self.env.process(self._rebuild(logical, spare))
+
+    def _rebuild(self, logical: int, spare: int) -> Generator:
+        """Copy the written extents from the surviving replica onto the
+        spare, chunk by chunk, then mark the device rebuilt."""
+        self.rebuilds.add()
+        source = self._phys(self._partner(logical))
+        extents = sorted(self._written[logical])
+        self._rebuild_total += len(extents)
+        block_size = self.platform.config.ssd.block_size
+        tracer = self.env.tracer
+        span = (
+            tracer.begin(
+                "rebuild",
+                ssd=spare,
+                source=source,
+                logical=logical,
+                extents=len(extents),
+            )
+            if tracer.enabled
+            else None
+        )
+        for local, num_blocks in extents:
+            done = 0
+            while done < num_blocks:
+                chunk = min(self.rebuild_chunk_blocks, num_blocks - done)
+                nbytes = chunk * block_size
+                cqe, error = yield from self._attempt(
+                    local + done + self.replica_base, nbytes, False, source
+                )
+                if error is not None or (cqe is not None and not cqe.ok):
+                    # surviving copy unreadable: skip, data is lost there
+                    done += chunk
+                    continue
+                payload = cqe.value if cqe is not None else None
+                yield from self._attempt(
+                    local + done, nbytes, True, spare, payload=payload
+                )
+                done += chunk
+            self._rebuild_copied += 1
+        self._rebuilding.discard(logical)
+        if span is not None:
+            tracer.end(span, copied=len(extents))
+        if tracer.enabled:
+            tracer.instant(
+                "rebuild_done", ssd=spare, logical=logical,
+                extents=len(extents),
+            )
+
+    @property
+    def rebuild_progress(self) -> float:
+        """Fraction of scheduled rebuild extents copied (1.0 when idle)."""
+        if not self._rebuild_total:
+            return 1.0
+        return self._rebuild_copied / self._rebuild_total
+
+    def bulk_time(self, total_bytes, granularity=4096, is_write=False,
+                  **kwargs):
+        # mirrors double the written bytes moving through the array
+        factor = 2.0 if is_write else 1.0
+        return self.inner.bulk_time(
+            total_bytes * factor, granularity, is_write, **kwargs
+        )

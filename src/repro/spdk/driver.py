@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from repro.config import SPDKConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeviceTimeoutError
 from repro.hw.nvme import SQE, NVMeOpcode
 from repro.hw.platform import Platform
 from repro.oskernel.blockio import CompletionDispatcher
@@ -41,10 +41,14 @@ class SpdkDriver:
         num_reactors: Optional[int] = None,
         config: Optional[SPDKConfig] = None,
         occupy_cores: bool = False,
+        reliability=None,
     ):
         self.platform = platform
         self.env = platform.env
         self.config = config or platform.config.spdk
+        #: optional :class:`~repro.reliability.Reliability` bundle; None
+        #: keeps the original fail-fast behaviour
+        self.reliability = reliability
         reactors = num_reactors or platform.num_ssds
         self.pool = ReactorPool(
             self.env,
@@ -100,6 +104,46 @@ class SpdkDriver:
             local_lba = lba
         handle = self._handles[ssd_index]
 
+        def attempt():
+            return self._attempt(
+                handle, ssd_index, local_lba, num_blocks, nbytes,
+                is_write, payload, target, target_offset, parent_span,
+            )
+
+        if self.reliability is None:
+            cqe = yield from attempt()
+        else:
+            try:
+                cqe = yield from self.reliability.run(
+                    attempt,
+                    ssd_id=ssd_index,
+                    lba=local_lba,
+                    is_write=is_write,
+                    parent_span=parent_span,
+                )
+            except DeviceTimeoutError:
+                # the watchdog expired: the device is not answering
+                self.reliability.health.mark_offline(ssd_index)
+                raise
+
+        self.requests_done.add()
+        self.bytes_done.add(nbytes)
+        return cqe
+
+    def _attempt(
+        self,
+        handle: SpdkQueuePairHandle,
+        ssd_index: int,
+        local_lba: int,
+        num_blocks: int,
+        nbytes: int,
+        is_write: bool,
+        payload,
+        target,
+        target_offset: int,
+        parent_span,
+    ) -> Generator:
+        """One device attempt: reactor charge, fresh SQE, CQE wait."""
         # submission + completion-poll CPU on the owning reactor
         span = yield from handle.reactor.charge(parent=parent_span)
         cost = handle.reactor.account_request(
@@ -122,10 +166,18 @@ class SpdkDriver:
         )
         done = handle.dispatcher.register(sqe.command_id)
         yield handle.queue_pair.submit(sqe)
-        cqe = yield done
-
-        self.requests_done.add()
-        self.bytes_done.add(nbytes)
+        reliability = self.reliability
+        if reliability is not None and reliability.watchdog is not None:
+            cqe = yield from reliability.watchdog.guard(
+                done,
+                nbytes=nbytes,
+                ssd_ids=(ssd_index,),
+                fault_injector=self.platform.fault_injector,
+                description=f"spdk ssd {ssd_index} lba {local_lba}",
+                parent_span=parent_span,
+            )
+        else:
+            cqe = yield done
         return cqe
 
     def _poll_iterations(self, is_write: bool) -> float:

@@ -21,6 +21,7 @@ def test_extras_registry():
         "host_cache",
         "paper_scale_gnn",
         "ssd_character",
+        "reliability",
     }
 
 
@@ -161,3 +162,26 @@ def test_ssd_characterization_within_datasheet_band():
         label, datasheet, model, measured = row
         assert measured == pytest.approx(datasheet, rel=0.15), label
         assert measured <= model * 1.02, label
+
+
+def test_reliability_experiment_sweeps_fault_rates():
+    result = run_experiment("reliability", quick=True)
+    table = result.tables[0]
+    systems = set(table.column("system"))
+    assert systems == {"cam", "spdk"}
+    mirrored = set(table.column("mirrored"))
+    assert mirrored == {False, True}
+    rows = {
+        (r[0], r[1], r[2]): dict(zip(table.columns, r))
+        for r in table.rows
+    }
+    # clean devices: no retries, no app errors
+    clean = rows[(0.0, "cam", False)]
+    assert clean["retries"] == 0
+    assert clean["app_errors"] == 0
+    # 1e-2/block: retries fire, yet nothing reaches the application
+    noisy = rows[(0.01, "cam", False)]
+    assert noisy["retries"] > 0
+    assert noisy["app_errors"] == 0
+    # fault handling costs latency: p99 grows with the fault rate
+    assert noisy["p99_us"] > clean["p99_us"]

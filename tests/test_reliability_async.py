@@ -1,0 +1,152 @@
+"""Error propagation through the async API and the prefetch pipeline
+under injected faults — with and without the reliability subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core import CamAsyncAPI, CamContext, run_prefetch_pipeline
+from repro.errors import DeviceError, MediaError, RetryExhaustedError
+from repro.hw.faults import FaultInjector
+from repro.hw.platform import Platform
+from repro.reliability import Reliability
+from repro.units import KiB
+
+
+def _context(num_ssds=2, injector=None, reliable=False):
+    platform = Platform(
+        PlatformConfig(num_ssds=num_ssds),
+        functional=False,
+        fault_injector=injector,
+    )
+    reliability = Reliability(platform) if reliable else None
+    return platform, CamContext(platform, reliability=reliability)
+
+
+def _plant(platform, injector, global_lba, persistent=False):
+    ssd, local = platform.ssd_for_lba(global_lba)
+    injector.inject_lba(ssd.ssd_id, local, persistent=persistent)
+
+
+def test_async_wait_reraises_batch_failure():
+    injector = FaultInjector()
+    platform, context = _context(injector=injector)
+    api = CamAsyncAPI(context)
+    buffer = context.alloc(512 * KiB)
+    lbas = np.arange(8, dtype=np.int64) * 8
+    _plant(platform, injector, 16)
+
+    def driver():
+        ticket = yield from api.submit(lbas, buffer, 4096)
+        with pytest.raises(MediaError, match="1 of 8 requests failed"):
+            yield from api.wait(ticket)
+        assert api.outstanding == 0
+
+    platform.env.run(platform.env.process(driver()))
+
+
+def test_async_failure_scoped_to_its_ticket():
+    """One failed batch does not poison other outstanding tickets."""
+    injector = FaultInjector()
+    platform, context = _context(injector=injector)
+    api = CamAsyncAPI(context)
+    buffer = context.alloc(512 * KiB)
+    lbas = np.arange(8, dtype=np.int64) * 8
+    _plant(platform, injector, 0)
+
+    def driver():
+        bad = yield from api.submit(lbas, buffer, 4096)
+        good = yield from api.submit(lbas + 256, buffer, 4096)
+        with pytest.raises(DeviceError):
+            yield from api.wait(bad)
+        yield from api.wait(good)  # unaffected
+
+    platform.env.run(platform.env.process(driver()))
+    assert context.manager.batches_done.total == 2
+
+
+def test_async_retries_absorb_transient_fault():
+    injector = FaultInjector()
+    platform, context = _context(injector=injector, reliable=True)
+    api = CamAsyncAPI(context)
+    buffer = context.alloc(512 * KiB)
+    lbas = np.arange(8, dtype=np.int64) * 8
+    _plant(platform, injector, 16)  # one-shot: first attempt fails
+
+    def driver():
+        ticket = yield from api.submit(lbas, buffer, 4096)
+        yield from api.wait(ticket)  # no error reaches the application
+
+    platform.env.run(platform.env.process(driver()))
+    assert context.reliability.retries.total == 1
+    assert injector.faults_delivered == 1
+
+
+def test_async_persistent_fault_typed_after_retries():
+    injector = FaultInjector()
+    platform, context = _context(injector=injector, reliable=True)
+    api = CamAsyncAPI(context)
+    buffer = context.alloc(512 * KiB)
+    lbas = np.arange(8, dtype=np.int64) * 8
+    _plant(platform, injector, 16, persistent=True)
+
+    def driver():
+        ticket = yield from api.submit(lbas, buffer, 4096)
+        with pytest.raises(RetryExhaustedError):
+            yield from api.wait(ticket)
+
+    platform.env.run(platform.env.process(driver()))
+    max_attempts = context.reliability.policy.max_attempts_read
+    assert context.reliability.retries.total == max_attempts - 1
+
+
+def test_pipeline_surfaces_batch_failure_and_releases_buffers():
+    injector = FaultInjector()
+    platform, context = _context(injector=injector)
+    batches = [np.arange(8, dtype=np.int64) * 8 for _ in range(3)]
+    _plant(platform, injector, 16)
+    computed = []
+
+    def compute(index, buffer):
+        computed.append(index)
+        yield platform.env.timeout(1e-5)
+
+    def driver():
+        yield from run_prefetch_pipeline(
+            context, batches, compute, buffer_size=64 * KiB
+        )
+
+    with pytest.raises(DeviceError):
+        platform.env.run(platform.env.process(driver()))
+    # the fault hit the very first prefetch, before any compute ran
+    assert computed == []
+    # the finally-clause released the double buffer: a new pipeline fits
+    injector_free = run_prefetch_pipeline(
+        context, batches, compute, buffer_size=64 * KiB
+    )
+    platform.env.run(platform.env.process(injector_free))
+    assert computed == [0, 1, 2]
+
+
+def test_pipeline_completes_under_transient_faults_with_retries():
+    injector = FaultInjector()
+    platform, context = _context(injector=injector, reliable=True)
+    batches = [np.arange(8, dtype=np.int64) * 8 for _ in range(3)]
+    # one transient fault per batch window, all absorbed by retries
+    _plant(platform, injector, 0)
+    _plant(platform, injector, 8)
+    computed = []
+
+    def compute(index, buffer):
+        computed.append(index)
+        yield platform.env.timeout(1e-5)
+
+    def driver():
+        total = yield from run_prefetch_pipeline(
+            context, batches, compute, buffer_size=64 * KiB
+        )
+        return total
+
+    platform.env.run(platform.env.process(driver()))
+    assert computed == [0, 1, 2]
+    assert context.reliability.retries.total == 2

@@ -1,0 +1,215 @@
+"""Reliability wired into every control plane: retries, typed errors,
+watchdog-bounded offline handling, circuit-breaker fail-fast."""
+
+import numpy as np
+import pytest
+
+from repro.backends import make_backend
+from repro.config import PlatformConfig
+from repro.core import CamContext
+from repro.errors import (
+    DeviceOfflineError,
+    RetryExhaustedError,
+)
+from repro.hw.faults import FaultInjector
+from repro.hw.platform import Platform
+from repro.reliability import HealthTracker, Reliability, RetryPolicy
+from repro.units import KiB
+
+
+def _platform(num_ssds=2, injector=None, functional=False):
+    return Platform(
+        PlatformConfig(num_ssds=num_ssds),
+        functional=functional,
+        fault_injector=injector,
+    )
+
+
+def test_spdk_retries_transient_fault_to_success():
+    injector = FaultInjector()
+    injector.inject_lba(0, 0)  # one-shot: first attempt fails
+    platform = _platform(injector=injector)
+    reliability = Reliability(platform)
+    backend = make_backend(
+        "spdk", platform, to_gpu=False, reliability=reliability
+    )
+
+    def proc():
+        cqe = yield from backend.io(0, 4096)
+        return cqe
+
+    cqe = platform.env.run(platform.env.process(proc()))
+    assert cqe.ok
+    assert cqe.attempts == 2
+    assert reliability.retries.total == 1
+    assert reliability.health.snapshot()[0] == "healthy"
+
+
+def test_posix_persistent_fault_exhausts_retries():
+    injector = FaultInjector()
+    injector.inject_lba(0, 0, persistent=True)
+    platform = _platform(injector=injector)
+    reliability = Reliability(platform)
+    backend = make_backend("posix", platform, reliability=reliability)
+
+    def proc():
+        yield from backend.io(0, 4096)
+
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        platform.env.run(platform.env.process(proc()))
+    policy = reliability.policy
+    assert excinfo.value.attempts == policy.max_attempts_read
+    assert excinfo.value.ssd_id == 0
+    assert reliability.retries.total == policy.max_attempts_read - 1
+
+
+@pytest.mark.parametrize("name", ["bam", "gds"])
+def test_gpu_direct_planes_retry_transient_fault(name):
+    injector = FaultInjector()
+    injector.inject_lba(0, 0)
+    platform = _platform(injector=injector)
+    reliability = Reliability(platform)
+    backend = make_backend(name, platform, reliability=reliability)
+
+    def proc():
+        cqe = yield from backend.io(0, 4096)
+        return cqe
+
+    cqe = platform.env.run(platform.env.process(proc()))
+    assert cqe.ok
+    assert cqe.attempts == 2
+    assert reliability.retries.total == 1
+
+
+def test_cam_batches_survive_transient_fault_rate():
+    """Acceptance: at error_rate=1e-3 a CAM batch workload completes
+    with zero application-visible errors — retries absorb every fault."""
+    injector = FaultInjector(error_rate=1e-3, seed=7)
+    platform = _platform(num_ssds=2, injector=injector)
+    reliability = Reliability(platform)
+    context = CamContext(platform, reliability=reliability)
+    buffer = context.alloc(512 * KiB)
+    api = context.device_api()
+    lbas = np.arange(64, dtype=np.int64) * 8
+
+    def kernel():
+        for _ in range(10):
+            yield from api.prefetch(lbas, buffer, 4096)
+            yield from api.prefetch_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    assert context.manager.batches_done.total == 10
+    assert injector.faults_delivered > 0
+    assert reliability.retries.total >= injector.faults_delivered
+
+
+def test_cam_persistent_fault_surfaces_retry_exhausted():
+    injector = FaultInjector()
+    platform = _platform(num_ssds=2, injector=injector)
+    reliability = Reliability(platform)
+    context = CamContext(platform, reliability=reliability)
+    buffer = context.alloc(64 * KiB)
+    api = context.device_api()
+    lbas = np.arange(4, dtype=np.int64) * 8
+    ssd, local = platform.ssd_for_lba(0)
+    injector.inject_lba(ssd.ssd_id, local, persistent=True)
+
+    def kernel():
+        yield from api.prefetch(lbas, buffer, 4096)
+        with pytest.raises(
+            RetryExhaustedError, match="1 of 4 requests failed"
+        ):
+            yield from api.prefetch_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+
+
+def test_cam_offline_device_fails_batch_within_deadline():
+    """Acceptance: an offline SSD does not hang prefetch_synchronize —
+    the watchdog converts the missing completion into a typed error."""
+    injector = FaultInjector()
+    platform = _platform(num_ssds=2, injector=injector)
+    reliability = Reliability(platform, watchdog_timeout=2e-3)
+    context = CamContext(platform, reliability=reliability)
+    buffer = context.alloc(64 * KiB)
+    api = context.device_api()
+    ssd, _ = platform.ssd_for_lba(0)
+    injector.set_offline(ssd.ssd_id)
+    lbas = np.zeros(1, dtype=np.int64)
+
+    def kernel():
+        yield from api.prefetch(lbas, buffer, 4096)
+        with pytest.raises(DeviceOfflineError) as excinfo:
+            yield from api.prefetch_synchronize()
+        assert excinfo.value.ssd_id == ssd.ssd_id
+
+    platform.env.run(platform.env.process(kernel()))
+    deadline = reliability.watchdog.deadline(4096)
+    assert platform.env.now < 2 * deadline
+    assert reliability.watchdog.timeouts_fired == 1
+    assert reliability.health.snapshot()[ssd.ssd_id] == "offline"
+
+
+def test_kernel_stack_offline_device_raises_typed_error():
+    injector = FaultInjector()
+    injector.set_offline(0)
+    platform = _platform(injector=injector)
+    reliability = Reliability(platform, watchdog_timeout=2e-3)
+    backend = make_backend("posix", platform, reliability=reliability)
+
+    def proc():
+        yield from backend.io(0, 4096)
+
+    with pytest.raises(DeviceOfflineError) as excinfo:
+        platform.env.run(platform.env.process(proc()))
+    assert excinfo.value.ssd_id == 0
+    assert reliability.health.snapshot()[0] == "offline"
+
+
+def test_breaker_fail_fast_stops_retry_burn():
+    """Once the breaker trips, remaining retry attempts are skipped."""
+    injector = FaultInjector()
+    injector.inject_lba(0, 0, persistent=True)
+    platform = _platform(injector=injector)
+    health = HealthTracker(
+        platform.env, platform.num_ssds,
+        failure_threshold=2, degraded_after=1, breaker_cooldown=1.0,
+    )
+    reliability = Reliability(
+        platform,
+        policy=RetryPolicy(max_attempts_read=6),
+        health=health,
+    )
+    backend = make_backend(
+        "spdk", platform, to_gpu=False, reliability=reliability
+    )
+
+    def proc():
+        cqe = yield from backend.io(0, 4096)
+        return cqe
+
+    cqe = platform.env.run(platform.env.process(proc()))
+    assert not cqe.ok
+    # two device attempts tripped the breaker; the other four were
+    # refused locally instead of hammering a sick device
+    assert cqe.attempts == 2
+    assert reliability.fail_fasts.total == 1
+    assert health.breaker_trips.total == 1
+    assert health.snapshot()[0] == "tripped"
+
+
+def test_reliability_off_keeps_legacy_fail_fast():
+    """reliability=None is the seed behaviour: no retries, first error
+    surfaces immediately."""
+    injector = FaultInjector()
+    injector.inject_lba(0, 0)
+    platform = _platform(injector=injector)
+    backend = make_backend("spdk", platform, to_gpu=False)
+
+    def proc():
+        cqe = yield from backend.io(0, 4096)
+        return cqe
+
+    cqe = platform.env.run(platform.env.process(proc()))
+    assert not cqe.ok
+    assert cqe.attempts == 1

@@ -1,0 +1,220 @@
+"""ReplicatedBackend: mirror semantics, degraded paths, fail-over and
+hot-spare rebuild, and the reliability span vocabulary in exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import ReplicatedBackend, make_backend
+from repro.config import PlatformConfig
+from repro.errors import ConfigurationError, InvalidLBAError
+from repro.hw.faults import FaultInjector
+from repro.hw.platform import Platform
+from repro.obs import install_tracer
+from repro.reliability import Reliability
+from repro.tools.export import export_perfetto_json
+
+
+def _platform(num_ssds=2, injector=None, functional=False):
+    return Platform(
+        PlatformConfig(num_ssds=num_ssds),
+        functional=functional,
+        fault_injector=injector,
+    )
+
+
+def _run(platform, gen):
+    return platform.env.run(platform.env.process(gen))
+
+
+def test_mirror_functional_roundtrip():
+    platform = _platform(functional=True)
+    mirror = ReplicatedBackend(make_backend("posix", platform))
+    data = (np.arange(4096) % 251).astype(np.uint8)
+
+    def proc():
+        yield from mirror.io(0, 4096, is_write=True, payload=data)
+        cqe = yield from mirror.io(0, 4096)
+        return cqe
+
+    cqe = _run(platform, proc())
+    assert cqe.ok
+    assert np.array_equal(np.frombuffer(cqe.value, np.uint8), data)
+    assert mirror.degraded_reads.total == 0
+
+
+def test_degraded_read_serves_from_replica():
+    injector = FaultInjector()
+    platform = _platform(injector=injector, functional=True)
+    mirror = ReplicatedBackend(make_backend("posix", platform))
+    data = np.full(4096, 7, dtype=np.uint8)
+
+    def write():
+        yield from mirror.io(0, 4096, is_write=True, payload=data)
+
+    _run(platform, write())
+    # primary copy of lba 0 lives on SSD 0; break it persistently
+    injector.inject_lba(0, 0, persistent=True)
+
+    def read():
+        cqe = yield from mirror.io(0, 4096)
+        return cqe
+
+    cqe = _run(platform, read())
+    assert cqe.ok
+    assert np.array_equal(np.frombuffer(cqe.value, np.uint8), data)
+    assert mirror.degraded_reads.total == 1
+
+
+def test_degraded_write_succeeds_on_one_leg():
+    injector = FaultInjector()
+    platform = _platform(injector=injector, functional=True)
+    mirror = ReplicatedBackend(make_backend("posix", platform))
+    injector.inject_lba(0, 0, persistent=True)
+    data = np.zeros(4096, dtype=np.uint8)
+
+    def write():
+        cqe = yield from mirror.io(0, 4096, is_write=True, payload=data)
+        return cqe
+
+    _run(platform, write())
+    assert mirror.degraded_writes.total == 1
+    # the surviving replica still serves reads
+    injector.repair_lba(0, 0)
+
+    def read():
+        cqe = yield from mirror.io(0, 4096)
+        return cqe
+
+    assert _run(platform, read()).ok
+
+
+def test_offline_primary_triggers_failover_and_rebuild():
+    injector = FaultInjector()
+    platform = _platform(num_ssds=3, injector=injector, functional=True)
+    reliability = Reliability(platform, watchdog_timeout=1e-3)
+    inner = make_backend("posix", platform, reliability=reliability)
+    mirror = ReplicatedBackend(inner, spares=1)
+    data = (np.arange(4096) % 199).astype(np.uint8)
+
+    def write():
+        yield from mirror.io(0, 4096, is_write=True, payload=data)
+
+    _run(platform, write())
+    injector.set_offline(0)
+
+    def read():
+        cqe = yield from mirror.io(0, 4096)
+        return cqe
+
+    cqe = _run(platform, read())
+    assert cqe.ok
+    assert np.array_equal(np.frombuffer(cqe.value, np.uint8), data)
+    assert mirror.degraded_reads.total == 1
+    assert mirror.failovers.total == 1
+    # drain the background rebuild onto the hot spare
+    platform.env.run()
+    assert mirror.rebuilds.total == 1
+    assert mirror.rebuild_progress == 1.0
+    # traffic now goes to the spare: reads succeed without degradation
+    cqe = _run(platform, read())
+    assert cqe.ok
+    assert np.array_equal(np.frombuffer(cqe.value, np.uint8), data)
+    assert mirror.degraded_reads.total == 1
+
+
+def test_failover_without_spare_keeps_degraded_serving():
+    injector = FaultInjector()
+    platform = _platform(num_ssds=2, injector=injector, functional=True)
+    reliability = Reliability(platform, watchdog_timeout=1e-3)
+    mirror = ReplicatedBackend(
+        make_backend("posix", platform, reliability=reliability)
+    )
+    data = np.ones(4096, dtype=np.uint8)
+
+    def write():
+        yield from mirror.io(0, 4096, is_write=True, payload=data)
+
+    _run(platform, write())
+    injector.set_offline(0)
+
+    def read():
+        cqe = yield from mirror.io(0, 4096)
+        return cqe
+
+    assert _run(platform, read()).ok
+    assert mirror.failovers.total == 0  # no spare to fail over to
+    assert mirror.degraded_reads.total == 1
+
+
+def test_reliability_spans_reach_perfetto_export(tmp_path):
+    injector = FaultInjector()
+    platform = _platform(num_ssds=3, injector=injector, functional=True)
+    tracer = install_tracer(platform.env)
+    reliability = Reliability(platform, watchdog_timeout=1e-3)
+    inner = make_backend("posix", platform, reliability=reliability)
+    mirror = ReplicatedBackend(inner, spares=1)
+    data = np.zeros(4096, dtype=np.uint8)
+
+    def write():
+        yield from mirror.io(0, 4096, is_write=True, payload=data)
+
+    _run(platform, write())
+    injector.set_offline(0)
+    # the fallback read hits a transient fault first -> a retry span
+    injector.inject_lba(1, mirror.replica_base)
+
+    def read():
+        cqe = yield from mirror.io(0, 4096)
+        return cqe
+
+    assert _run(platform, read()).ok
+    platform.env.run()  # finish the rebuild
+    path = tmp_path / "trace.json"
+    export_perfetto_json(tracer, path)
+    names = {
+        event["name"]
+        for event in json.loads(path.read_text())["traceEvents"]
+        if "name" in event
+    }
+    assert {
+        "retry",
+        "watchdog_timeout",
+        "breaker_trip",
+        "degraded_read",
+        "rebuild",
+        "rebuild_done",
+    } <= names
+
+
+def test_replication_needs_even_data_devices():
+    platform = _platform(num_ssds=3)
+    with pytest.raises(ConfigurationError, match="even number"):
+        ReplicatedBackend(make_backend("posix", platform))
+    with pytest.raises(ConfigurationError, match="even number"):
+        ReplicatedBackend(make_backend("posix", _platform(num_ssds=1)))
+
+
+def test_mirror_halves_usable_capacity():
+    platform = _platform(functional=False)
+    mirror = ReplicatedBackend(make_backend("posix", platform))
+    beyond = mirror.replica_base * mirror.num_data
+
+    def proc():
+        yield from mirror.io(beyond, 4096)
+
+    with pytest.raises(InvalidLBAError):
+        platform.env.run(platform.env.process(proc()))
+
+
+def test_explicit_ssd_index_bypasses_replication():
+    platform = _platform(functional=False)
+    mirror = ReplicatedBackend(make_backend("posix", platform))
+
+    def proc():
+        cqe = yield from mirror.io(0, 4096, ssd_index=1)
+        return cqe
+
+    assert _run(platform, proc()).ok
+    assert mirror.degraded_reads.total == 0
