@@ -68,6 +68,7 @@ class CamManager:
         num_cores: Optional[int] = None,
         occupy_cores: bool = False,
         reliability=None,
+        coalesce: bool = True,
     ):
         self.platform = platform
         self.env = platform.env
@@ -76,6 +77,12 @@ class CamManager:
         #: driver retries/guards each request, the manager types the
         #: batch-level failure
         self.reliability = reliability
+        #: submit batches through the coalesced per-reactor path
+        #: (:meth:`SpdkDriver.io_batch`) instead of one process per
+        #: request.  Timings are identical; ``coalesce=False`` keeps the
+        #: fan-out path for differential testing.  Reliability implies
+        #: fan-out: retries and watchdog deadlines are per-request.
+        self.coalesce = coalesce and reliability is None
         max_cores = max(1, -(-platform.num_ssds // 2))  # ceil(N/2)
         self.driver = SpdkDriver(
             platform,
@@ -106,12 +113,7 @@ class CamManager:
                 f"[1, {self.driver.num_reactors}]"
             )
         self._active_reactors = count
-        pool = self.driver.pool
-        pool._assignment = [
-            index % count for index in range(self.platform.num_ssds)
-        ]
-        for handle in self.driver._handles:
-            handle.reactor = pool.reactor_for(handle.ssd_index)
+        self.driver.remap(count)
 
     # -- the doorbell -> completion path ----------------------------------
     def ring(self, batch: BatchRequest) -> Event:
@@ -233,22 +235,89 @@ class CamManager:
         )
 
     def _process_batch(self, batch: BatchRequest) -> Generator:
+        """Submit the batch and wait for every CQE.
+
+        The coalesced path groups the batch per owning reactor and walks
+        each group inside one generator
+        (:meth:`~repro.spdk.driver.SpdkDriver.io_batch`); the fan-out
+        path spawns one process per request.  Both produce identical
+        simulated timestamps — the differential tests in
+        ``tests/test_coalesced_differential.py`` pin that down.
+        """
+        if self.coalesce:
+            failures = yield from self._process_batch_coalesced(batch)
+        else:
+            failures = yield from self._process_batch_fanout(batch)
+        return failures
+
+    def _payload(self, batch: BatchRequest, index: int):
+        if batch.payloads is not None:
+            return batch.payloads[index]
+        if batch.is_write and batch.dest is not None:
+            # write-back: the data comes from the pinned GPU buffer
+            return batch.dest.read_bytes(
+                index * batch.granularity, batch.granularity
+            )
+        return None
+
+    def _process_batch_coalesced(self, batch: BatchRequest) -> Generator:
+        """Group per reactor (batch order preserved inside each group) and
+        submit each group through one coalesced generator."""
+        driver = self.driver
+        platform = self.platform
+        handles = driver._handles
+        groups: dict = {}  # Reactor -> [(index, ssd_index, local_lba, payload)]
+        for index, lba in enumerate(batch.lbas):
+            ssd, local_lba = platform.ssd_for_lba(int(lba))
+            reactor = handles[ssd.ssd_id].reactor
+            items = groups.get(reactor)
+            if items is None:
+                items = groups[reactor] = []
+            items.append(
+                (index, ssd.ssd_id, local_lba, self._payload(batch, index))
+            )
+        grouped = list(groups.values())
+        if len(grouped) == 1:
+            results = yield from driver.io_batch(
+                grouped[0],
+                batch.granularity,
+                is_write=batch.is_write,
+                target=batch.dest,
+                parent_span=batch.trace_span,
+            )
+        else:
+            procs = [
+                self.env.process(
+                    driver.io_batch(
+                        items,
+                        batch.granularity,
+                        is_write=batch.is_write,
+                        target=batch.dest,
+                        parent_span=batch.trace_span,
+                    )
+                )
+                for items in grouped
+            ]
+            done = yield self.env.all_of(procs)
+            results = []
+            for proc in procs:
+                results.extend(done[proc])
+            results.sort(key=lambda pair: pair[0])
+        failures = []
+        for index, cqe in results:
+            if not cqe.ok:
+                failures.append(
+                    (int(batch.lbas[index]), cqe.status, cqe.attempts, None)
+                )
+        return failures
+
+    def _process_batch_fanout(self, batch: BatchRequest) -> Generator:
         """Fan the batch out over the SSDs and wait for every CQE."""
-        granularity = batch.granularity
         children = []
         for index, lba in enumerate(batch.lbas):
-            if batch.payloads is not None:
-                payload = batch.payloads[index]
-            elif batch.is_write and batch.dest is not None:
-                # write-back: the data comes from the pinned GPU buffer
-                payload = batch.dest.read_bytes(
-                    index * granularity, granularity
-                )
-            else:
-                payload = None
             children.append(
                 self.env.process(
-                    self._request(batch, index, payload)
+                    self._request(batch, index, self._payload(batch, index))
                 )
             )
         results = yield self.env.all_of(children)

@@ -107,7 +107,11 @@ class CPU:
     def acquire_core(self):
         """Request event for one core; track occupancy on grant."""
         request = self._cores.request()
-        request.callbacks.append(lambda _event: self.busy.add(1))
+        if request.callbacks is None:
+            # granted on the spot (free core): count it busy now
+            self.busy.add(1)
+        else:
+            request.callbacks.append(lambda _event: self.busy.add(1))
         return request
 
     def release_core(self, request) -> None:

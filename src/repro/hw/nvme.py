@@ -10,14 +10,22 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import QueueFullError
 from repro.sim.core import Environment
 from repro.sim.resources import Store
 
 _command_ids = itertools.count(1)
+
+#: slotted dataclasses (3.10+) spare one dict allocation per SQE/CQE —
+#: the two hottest allocations in a simulation run
+if sys.version_info >= (3, 10):
+    _ring_entry = dataclass(slots=True)
+else:  # pragma: no cover - 3.9 fallback
+    _ring_entry = dataclass
 
 
 class NVMeOpcode(enum.Enum):
@@ -32,7 +40,7 @@ class NVMeOpcode(enum.Enum):
         return self is NVMeOpcode.WRITE
 
 
-@dataclass
+@_ring_entry
 class SQE:
     """Submission Queue Entry.
 
@@ -58,7 +66,7 @@ class SQE:
         return self.num_blocks * block_size
 
 
-@dataclass
+@_ring_entry
 class CQE:
     """Completion Queue Entry."""
 
@@ -91,6 +99,12 @@ class QueuePair:
         self.sq: Store = Store(env, capacity=depth)
         self.cq: Store = Store(env, capacity=depth)
         self.inflight = 0
+        #: optional ``CQE -> bool`` hook consulted before the CQ ring; a
+        #: completion dispatcher with no per-completion CPU cost installs
+        #: itself here so grouped completions skip the ring hop (the CQE
+        #: is stamped and accounted identically either way).  Returning
+        #: False sends the CQE through the ring as usual.
+        self.completion_sink: Optional[Callable[["CQE"], bool]] = None
 
     def submit(self, sqe: SQE):
         """Blocking submit: yields until a ring slot is free."""
@@ -125,6 +139,9 @@ class QueuePair:
         """
         cqe.complete_time = self.env.now
         self.inflight -= 1
+        sink = self.completion_sink
+        if sink is not None and sink(cqe):
+            return
         self.cq.put(cqe)
 
     @property

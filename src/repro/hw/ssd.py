@@ -26,7 +26,7 @@ import numpy as np
 from repro.config import SSDConfig
 from repro.errors import InvalidLBAError, SimulationError
 from repro.hw.nvme import CQE, SQE, NVMeOpcode, QueuePair
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Process, Timeout
 from repro.sim.links import BandwidthLink
 from repro.sim.resources import Resource
 from repro.sim.stats import Counter, LatencyStat
@@ -129,6 +129,16 @@ class SSD:
             False: per_channel_read,
             True: per_channel_write,
         }
+        # per-request timing constants, precomputed once (the config is a
+        # frozen dataclass, so these cannot change after construction)
+        self._ftl_time = {
+            False: config.ftl_time(False),
+            True: config.ftl_time(True),
+        }
+        self._media_latency = {
+            False: config.media_latency(False),
+            True: config.media_latency(True),
+        }
         self._queue_pairs: List[QueuePair] = []
         self._next_qid = 0
 
@@ -155,6 +165,21 @@ class SSD:
         return list(self._queue_pairs)
 
     # -- device-side processing ----------------------------------------------
+    def submit_direct(self, qp: QueuePair, sqe: SQE) -> None:
+        """Hand ``sqe`` straight to the device handler, skipping the SQ ring.
+
+        Used by coalesced submitters: the ring's consumer spawns a handler
+        the same instant the SQE lands anyway (its getter is always parked
+        because handlers are spawned without blocking), so starting the
+        handler here is timing-equivalent and saves the consumer wakeup.
+        The SQE is stamped and ``inflight`` accounted exactly as
+        :meth:`QueuePair.submit` would.
+        """
+        env = self.env
+        sqe.submit_time = env._now
+        qp.inflight += 1
+        Process(env, self._handle(qp, sqe))
+
     def _consume(self, qp: QueuePair) -> Generator:
         """Drain a queue pair forever, spawning one handler per command."""
         while True:
@@ -163,8 +188,9 @@ class SSD:
 
     def _handle(self, qp: QueuePair, sqe: SQE) -> Generator:
         is_write = sqe.opcode.is_write
-        nbytes = sqe.nbytes(self.config.block_size)
-        offset = sqe.lba * self.config.block_size
+        block_size = self.config.block_size
+        nbytes = sqe.num_blocks * block_size
+        offset = sqe.lba * block_size
         tracer = self.env.tracer
         span = None
         if tracer.enabled:
@@ -192,21 +218,25 @@ class SSD:
             # validate range up-front so bad requests fail loudly
             self.store._check_range(offset, nbytes)
 
-        if (
-            self.fault_injector is not None
-            and self.fault_injector.is_offline(self.ssd_id)
+        injector = self.fault_injector
+        if injector is not None and injector._offline and injector.is_offline(
+            self.ssd_id
         ):
             # the device dropped off the bus: the command is swallowed and
             # no CQE ever arrives — a completion watchdog
             # (repro.reliability) is the only way the host learns
-            self.fault_injector.offline_drops += 1
+            injector.offline_drops += 1
             self.faults_reported += 1
             if span is not None:
                 tracer.end(span, offline=True)
             return
 
-        if self.fault_injector is not None:
-            status = self.fault_injector.check(
+        if injector is not None and (
+            # peek before calling check(): the fault-free hot path must
+            # not pay per-request set scans and RNG guards
+            injector._one_shot or injector._persistent or injector.error_rate
+        ):
+            status = injector.check(
                 self.ssd_id, sqe.lba, sqe.num_blocks, is_write
             )
             if status:
@@ -222,17 +252,25 @@ class SSD:
                 return
 
         value = None
+        pcie = self.pcie
         if is_write:
             # Host/GPU -> SSD data movement first, then media program.
-            if self.pcie is not None and nbytes:
-                yield from self._traced_transfer(nbytes, span)
+            if pcie is not None and nbytes:
+                if span is not None:
+                    yield from self._traced_transfer(nbytes, span)
+                else:
+                    # skip the span-wrapper generator when not tracing
+                    yield from pcie.transfer(nbytes)
             if self.store is not None and sqe.payload is not None:
                 self.store.write(offset, sqe.payload)
             yield from self._media(nbytes, is_write=True)
         else:
             yield from self._media(nbytes, is_write=False)
-            if self.pcie is not None and nbytes:
-                yield from self._traced_transfer(nbytes, span)
+            if pcie is not None and nbytes:
+                if span is not None:
+                    yield from self._traced_transfer(nbytes, span)
+                else:
+                    yield from pcie.transfer(nbytes)
             if self.store is not None:
                 data = self.store.read(offset, nbytes)
                 value = self._deliver(sqe, data)
@@ -263,23 +301,44 @@ class SSD:
             tracer.end(span)
 
     def _media(self, nbytes: int, is_write: bool) -> Generator:
-        """FTL serialization + flash-channel occupancy."""
-        with self._ftl.request() as slot:
-            yield slot
-            yield self.env.timeout(self.config.ftl_time(is_write))
-        with self._channels.request() as channel:
-            yield channel
+        """FTL serialization + flash-channel occupancy.
+
+        The two stages hand-inline the ``with resource.request()`` idiom:
+        this is the hottest generator in the simulator, and skipping the
+        context-manager dispatch plus the ``yield`` on an already-granted
+        (born-processed) slot is worth the extra lines.  try/finally keeps
+        the release-on-error guarantee the ``with`` form gave.
+        """
+        env = self.env
+        ftl = self._ftl
+        slot = ftl.request()
+        try:
+            if slot.callbacks is not None:
+                yield slot
+            yield Timeout(env, self._ftl_time[is_write])
+        finally:
+            ftl.release(slot)
+        channels = self._channels
+        channel = channels.request()
+        try:
+            if channel.callbacks is not None:
+                yield channel
             transfer = nbytes / self._channel_bw[is_write]
             # health episodes (GC pauses, thermal throttling) stretch the
-            # media time by the injector's active latency factor
-            factor = 1.0
-            if self.fault_injector is not None:
-                factor = self.fault_injector.latency_factor(
-                    self.ssd_id, self.env.now
-                )
-            yield self.env.timeout(
-                (self.config.media_latency(is_write) + transfer) * factor
+            # media time by the injector's active latency factor; peek at
+            # the episode table first so the fault-free hot path skips
+            # the per-request factor computation entirely
+            injector = self.fault_injector
+            if injector is not None and injector._episodes:
+                factor = injector.latency_factor(self.ssd_id, env.now)
+            else:
+                factor = 1.0
+            yield Timeout(
+                env,
+                (self._media_latency[is_write] + transfer) * factor,
             )
+        finally:
+            channels.release(channel)
 
     def _deliver(self, sqe: SQE, data: np.ndarray):
         """Place read data into the destination buffer, if one was given."""

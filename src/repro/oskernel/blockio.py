@@ -17,6 +17,28 @@ from repro.sim.core import Environment, Event
 from repro.sim.stats import Counter
 
 
+class CompletionGroup:
+    """A shared completion counter for a coalesced submission group.
+
+    Instead of one waiter :class:`~repro.sim.core.Event` per command, a
+    batched submitter registers many command ids against one group; the
+    group's single ``event`` fires — with the ``command_id -> CQE``
+    mapping as its value — once the group is *sealed* (no more commands
+    will be added) and every expected CQE has been dispatched.  The event
+    fires at exactly the simulated instant the *last* per-command waiter
+    would have fired, so batch timings match the fan-out path.
+    """
+
+    __slots__ = ("event", "results", "remaining", "sealed")
+
+    def __init__(self, env: Environment):
+        self.event = env.event()
+        #: command_id -> CQE, filled as completions are dispatched
+        self.results: Dict[int, CQE] = {}
+        self.remaining = 0
+        self.sealed = False
+
+
 class CompletionDispatcher:
     """Pops CQEs off one queue pair and wakes the matching waiter.
 
@@ -41,16 +63,56 @@ class CompletionDispatcher:
         self.cpu = cpu
         self.on_complete = on_complete
         self._waiters: Dict[int, Event] = {}
+        #: command_id -> CompletionGroup for batched submitters
+        self._groups: Dict[int, CompletionGroup] = {}
         self.completions = Counter(env)
+        if completion_cost == 0.0 and cpu is None and on_complete is None:
+            # No completion-side CPU is charged, so a grouped CQE can be
+            # folded into its group the instant the device posts it — same
+            # simulated time, one fewer ring hop.  Per-command waiters
+            # still flow through the ring (the sink declines them).
+            queue_pair.completion_sink = self._absorb_grouped
         env.process(self._run())
+
+    def _absorb_grouped(self, cqe: CQE) -> bool:
+        """Queue-pair sink: fold a grouped CQE directly, skip the CQ ring."""
+        group = self._groups.pop(cqe.command_id, None)
+        if group is None:
+            return False
+        self.completions.add()
+        group.results[cqe.command_id] = cqe
+        group.remaining -= 1
+        if group.sealed and group.remaining == 0:
+            group.event.succeed(group.results)
+        return True
 
     def register(self, command_id: int) -> Event:
         """Create the event a submitter waits on for ``command_id``."""
-        if command_id in self._waiters:
+        if command_id in self._waiters or command_id in self._groups:
             raise SimulationError(f"duplicate command id {command_id}")
         event = self.env.event()
         self._waiters[command_id] = event
         return event
+
+    # -- coalesced (group) completion --------------------------------------
+    def open_group(self) -> CompletionGroup:
+        """Start a completion group for a coalesced submission."""
+        return CompletionGroup(self.env)
+
+    def expect(self, group: CompletionGroup, command_id: int) -> None:
+        """Add ``command_id`` to ``group`` instead of a per-command waiter."""
+        if group.sealed:
+            raise SimulationError("cannot expect() on a sealed group")
+        if command_id in self._waiters or command_id in self._groups:
+            raise SimulationError(f"duplicate command id {command_id}")
+        self._groups[command_id] = group
+        group.remaining += 1
+
+    def seal(self, group: CompletionGroup) -> None:
+        """No more commands will join; fire once all expected CQEs arrive."""
+        group.sealed = True
+        if group.remaining == 0 and not group.event.triggered:
+            group.event.succeed(group.results)
 
     def _run(self) -> Generator:
         while True:
@@ -65,6 +127,13 @@ class CompletionDispatcher:
             self.completions.add()
             if self.on_complete is not None:
                 self.on_complete(cqe)
+            group = self._groups.pop(cqe.command_id, None)
+            if group is not None:
+                group.results[cqe.command_id] = cqe
+                group.remaining -= 1
+                if group.sealed and group.remaining == 0:
+                    group.event.succeed(group.results)
+                continue
             waiter = self._waiters.pop(cqe.command_id, None)
             if waiter is not None:
                 waiter.succeed(cqe)

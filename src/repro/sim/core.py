@@ -11,11 +11,27 @@ Design notes
 * Interrupts follow SimPy semantics: ``process.interrupt(cause)`` throws
   :class:`~repro.errors.ProcessInterrupt` into the generator at the current
   simulation time.
+
+Hot-path notes
+--------------
+The engine is the wall-clock bottleneck of every experiment sweep, so the
+classes here trade a little uniformity for speed:
+
+* every event class declares ``__slots__`` — per-event dict allocation is
+  the single biggest constant cost at millions of events;
+* :meth:`Event.succeed`, :meth:`Event.fail` and :class:`Timeout` push onto
+  the heap directly instead of going through :meth:`Environment._schedule`;
+* :meth:`Environment.run` inlines :meth:`Environment.step` so the main
+  loop pays one Python frame per event, not two.
+
+None of this changes scheduling semantics: ordering is still strictly
+``(time, priority, sequence)`` and the sequence counter is bumped in
+exactly the same places as before.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import ProcessInterrupt, SimulationError
@@ -36,6 +52,8 @@ class Event:
     schedules it on the environment's heap, after which its callbacks run
     exactly once.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -59,7 +77,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded.  Only valid once triggered."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet decided")
         return bool(self._ok)
 
@@ -73,11 +91,13 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._heap, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -89,15 +109,26 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._heap, (env._now, NORMAL, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
-        """Copy success/failure state from ``event`` (chaining helper)."""
+        """Copy success/failure state from ``event`` (chaining helper).
+
+        ``event`` must already be triggered; chaining from a pending event
+        has no defined value to copy and is always a caller bug.
+        """
+        if event._value is _PENDING:
+            raise SimulationError(
+                f"cannot chain from untriggered event {event!r}; "
+                "trigger() copies a decided value"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -112,14 +143,21 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` seconds after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
+        # Inlined Event.__init__ + _schedule: a Timeout is born triggered,
+        # so skip the _PENDING dance entirely.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._defused = False
+        self._delay = delay
+        env._eid += 1
+        heappush(env._heap, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay}>"
@@ -128,34 +166,49 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal: first resume of a newly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.env = env
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        env._schedule(self, URGENT, 0.0)
+        self._defused = False
+        env._eid += 1
+        heappush(env._heap, (env._now, URGENT, env._eid, self))
 
 
 class _InterruptEvent(Event):
     """Internal: delivery vehicle for :meth:`Process.interrupt`."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process", cause: Any):
-        super().__init__(env)
-        self.callbacks.append(process._resume_interrupt)
+        self.env = env
+        self.callbacks = [process._resume_interrupt]
         self._ok = False
         self._value = ProcessInterrupt(cause)
         self._defused = True
-        env._schedule(self, URGENT, 0.0)
+        env._eid += 1
+        heappush(env._heap, (env._now, URGENT, env._eid, self))
 
 
 class Process(Event):
     """A running generator.  Also an event that triggers when the generator
     returns (with its return value) or raises (with the exception)."""
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # inlined Event.__init__ — one process is spawned per device
+        # command, so this constructor is a per-I/O allocation
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
         Initialize(env, self)
@@ -187,48 +240,65 @@ class Process(Event):
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_generator = self._generator
+        env = self.env
+        generator = self._generator
+        send = generator.send
+        throw = generator.throw
+        env._active_generator = generator
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = send(event._value)
                 else:
                     event._defused = True
-                    exc = event._value
-                    next_target = self._generator.throw(exc)
+                    next_target = throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, NORMAL, 0.0)
+                if self.callbacks:
+                    env._eid += 1
+                    heappush(env._heap, (env._now, NORMAL, env._eid, self))
+                else:
+                    # fire-and-forget success: nobody is waiting, so the
+                    # end event becomes processed on the spot instead of
+                    # burning a heap entry.  Failures still schedule so
+                    # unconsumed exceptions surface at step time.
+                    self.callbacks = None
                 break
             except BaseException as exc:  # generator died with an error
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, NORMAL, 0.0)
+                env._eid += 1
+                heappush(env._heap, (env._now, NORMAL, env._eid, self))
                 break
 
-            if not isinstance(next_target, Event):
+            if next_target.__class__ is not Timeout and not isinstance(
+                next_target, Event
+            ):
                 exc2 = SimulationError(
                     f"process yielded non-event {next_target!r}"
                 )
-                event = Event(self.env)
+                event = Event(env)
                 event._ok = False
                 event._value = exc2
                 continue
-            if next_target.processed:
+            callbacks = next_target.callbacks
+            if callbacks is None:
+                if next_target._value is _PENDING:
+                    raise SimulationError("event processed but callbacks gone")
                 # already done: loop around synchronously
                 event = next_target
                 continue
-            if next_target.callbacks is None:
-                raise SimulationError("event processed but callbacks gone")
-            next_target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = next_target
             break
-        self.env._active_generator = None
+        env._active_generator = None
 
 
 class Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -238,7 +308,7 @@ class Condition(Event):
             if event.env is not env:
                 raise SimulationError("events from different environments")
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:
                 self._check(event)
             else:
                 # NB: a triggered-but-unprocessed event (e.g. a Timeout that
@@ -252,7 +322,7 @@ class Condition(Event):
         raise NotImplementedError
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event._defused = True
@@ -266,7 +336,7 @@ class Condition(Event):
                 {
                     ev: ev._value
                     for ev in self._events
-                    if ev.processed and ev._ok
+                    if ev.callbacks is None and ev._ok
                 }
             )
 
@@ -275,12 +345,16 @@ class AllOf(Condition):
     """Triggers when every child event has succeeded.  Value is a dict of
     ``event -> value``."""
 
+    __slots__ = ()
+
     def _matched(self, count: int, total: int) -> bool:
         return count == total
 
 
 class AnyOf(Condition):
     """Triggers when the first child event succeeds."""
+
+    __slots__ = ()
 
     def _matched(self, count: int, total: int) -> bool:
         return count >= 1
@@ -328,7 +402,7 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        heapq.heappush(
+        heappush(
             self._heap, (self._now + delay, priority, self._eid, event)
         )
 
@@ -338,10 +412,11 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("nothing scheduled")
         self.events_processed += 1
-        self._now, _, _, event = heapq.heappop(self._heap)
+        self._now, _, _, event = heappop(heap)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -355,19 +430,44 @@ class Environment:
         ``until`` may be ``None`` (run to exhaustion), a number (run up to
         that time), or an :class:`Event` (run until it triggers, returning
         its value).
+
+        The three loops below inline :meth:`step` (one Python frame per
+        event instead of two); ``events_processed`` is accumulated locally
+        and flushed even when an event failure propagates out.
         """
+        heap = self._heap
+        steps = 0
         if until is None:
-            while self._heap:
-                self.step()
+            try:
+                while heap:
+                    steps += 1
+                    self._now, _, _, event = heappop(heap)
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self.events_processed += steps
             return None
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before target triggered"
-                    )
-                self.step()
+            try:
+                while stop.callbacks is not None:
+                    if not heap:
+                        raise SimulationError(
+                            "simulation ran out of events before target "
+                            "triggered"
+                        )
+                    steps += 1
+                    self._now, _, _, event = heappop(heap)
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self.events_processed += steps
             if stop._ok:
                 return stop._value
             stop._defused = True
@@ -375,7 +475,16 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError("cannot run into the past")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        try:
+            while heap and heap[0][0] <= horizon:
+                steps += 1
+                self._now, _, _, event = heappop(heap)
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self.events_processed += steps
         self._now = horizon
         return None

@@ -14,6 +14,20 @@
 * :class:`Store` — a FIFO buffer of items with blocking put/get, used for
   queues between producer and consumer processes (e.g. NVMe SQ/CQ rings).
 * :class:`Container` — a continuous quantity (e.g. buffer bytes).
+
+Hot-path notes
+--------------
+``Resource.request``/``release`` and ``Store.put``/``get`` sit on the
+per-request path of every control plane, so both have O(1) fast paths for
+the overwhelmingly common shapes (free slot, no waiters; plain FIFO get
+with no predicate waiters) that bypass the general settle/grant loops.
+The fast paths schedule exactly the same success events in exactly the
+same order as the general path, so simulated timestamps are unchanged.
+
+``PriorityResource.cancel`` uses lazy deletion: cancelled entries stay in
+the heap, are skipped at grant time, and the heap is compacted only once
+stale entries outnumber live ones — cancelling under a large waiter queue
+was previously O(n log n) per cancel (rebuild + re-heapify).
 """
 
 from __future__ import annotations
@@ -23,14 +37,21 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, _PENDING
 
 
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # inlined Event.__init__ — requests are a per-I/O allocation
+        self.env = resource.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -68,15 +89,40 @@ class Resource:
     def request(self) -> Request:
         """Claim a slot; yield the returned event to wait for the grant."""
         req = Request(self)
-        self._queue.append(req)
-        self._grant()
+        if not self._queue and len(self._users) < self.capacity:
+            # fast path: free slot, nobody ahead — grant immediately.
+            # The event is born *processed* (no heap entry): nobody else
+            # can hold a callback on an event we have not returned yet,
+            # so the requester's ``yield`` continues synchronously at the
+            # same instant the scheduled grant would have run.
+            self._users.append(req)
+            req._ok = True
+            req._value = None
+            req.callbacks = None
+        else:
+            self._queue.append(req)
         return req
 
     def release(self, request: Request) -> None:
-        """Give back a previously granted slot."""
+        """Give back a previously granted slot.
+
+        Releasing a request that was never granted cancels it instead;
+        releasing the *same granted* request twice is always a lifecycle
+        bug in the caller (the slot it would free belongs to someone else
+        by then) and raises :class:`SimulationError`.
+        """
         try:
             self._users.remove(request)
         except ValueError:
+            if request.triggered:
+                # Triggered but not holding a slot: it was granted once
+                # and already released — a double release.  Silently
+                # falling through to _cancel here used to no-op and mask
+                # lifecycle bugs in callers.
+                raise SimulationError(
+                    f"double release of {request!r}: the request was "
+                    "already released"
+                )
             # Releasing an ungranted request cancels it instead.
             self._cancel(request)
             return
@@ -89,18 +135,28 @@ class Resource:
             pass
 
     def _grant(self) -> None:
-        while self._queue and len(self._users) < self.capacity:
-            req = self._queue.popleft()
+        queue = self._queue
+        users = self._users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            req = queue.popleft()
             if req.triggered:
                 continue
-            self._users.append(req)
+            users.append(req)
             req.succeed()
 
 
 class PriorityRequest(Request):
+    __slots__ = ("priority", "cancelled", "in_heap")
+
     def __init__(self, resource: "PriorityResource", priority: float):
         super().__init__(resource)
         self.priority = priority
+        #: lazy-deletion marker: cancelled entries stay heap-resident and
+        #: are skipped at grant time
+        self.cancelled = False
+        #: True while a heap entry references this request
+        self.in_heap = False
 
 
 class PriorityResource(Resource):
@@ -111,42 +167,91 @@ class PriorityResource(Resource):
         super().__init__(env, capacity)
         self._pqueue: list = []
         self._seq = 0
+        #: heap entries whose request was cancelled (lazy deletion)
+        self._stale = 0
 
     @property
     def queued(self) -> int:
-        return len(self._pqueue)
+        return len(self._pqueue) - self._stale
 
     def request(self, priority: float = 0.0) -> PriorityRequest:
         req = PriorityRequest(self, priority)
+        if not self._pqueue and len(self._users) < self.capacity:
+            # fast path: free slot and an empty waiter heap — grant as a
+            # born-processed event (see Resource.request)
+            self._users.append(req)
+            req._ok = True
+            req._value = None
+            req.callbacks = None
+            return req
         self._seq += 1
+        req.in_heap = True
         heapq.heappush(self._pqueue, (priority, self._seq, req))
         self._grant()
         return req
 
     def _cancel(self, request: Request) -> None:
-        self._pqueue = [
-            entry for entry in self._pqueue if entry[2] is not request
-        ]
-        heapq.heapify(self._pqueue)
+        """Lazy deletion: mark the entry and skip it at grant time.
+
+        The heap is compacted only once stale entries outnumber live
+        ones, so cancelling under a large waiter queue is O(1) amortized
+        instead of the previous rebuild + re-heapify per cancel.
+        """
+        if not getattr(request, "in_heap", False) or request.cancelled:
+            return
+        request.cancelled = True
+        self._stale += 1
+        if self._stale > len(self._pqueue) // 2:
+            stale = [
+                entry for entry in self._pqueue if entry[2].cancelled
+            ]
+            self._pqueue = [
+                entry for entry in self._pqueue if not entry[2].cancelled
+            ]
+            for entry in stale:
+                entry[2].in_heap = False
+            heapq.heapify(self._pqueue)
+            self._stale = 0
 
     def _grant(self) -> None:
-        while self._pqueue and len(self._users) < self.capacity:
-            _, _, req = heapq.heappop(self._pqueue)
+        pqueue = self._pqueue
+        users = self._users
+        capacity = self.capacity
+        while pqueue and len(users) < capacity:
+            _, _, req = heapq.heappop(pqueue)
+            req.in_heap = False
+            if req.cancelled:
+                self._stale -= 1
+                continue
             if req.triggered:
                 continue
-            self._users.append(req)
+            users.append(req)
             req.succeed()
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        # inlined Event.__init__ — ring puts are a per-I/O allocation
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.item = item
 
 
 class StoreGet(Event):
+    __slots__ = ("predicate",)
+
     def __init__(self, store: "Store", predicate: Optional[Callable]):
-        super().__init__(store.env)
+        # inlined Event.__init__ — ring gets are a per-I/O allocation
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.predicate = predicate
 
 
@@ -172,12 +277,54 @@ class Store:
 
     def put(self, item: Any) -> StorePut:
         event = StorePut(self, item)
+        if not self._putters:
+            getters = self._getters
+            if not getters:
+                if len(self.items) < self.capacity:
+                    # fast path: room and nobody waiting.  The put event
+                    # is born processed (no heap entry) — only the caller
+                    # can observe it, and its ``yield`` continues
+                    # synchronously at the same instant.
+                    self.items.append(item)
+                    event._ok = True
+                    event._value = None
+                    event.callbacks = None
+                    return event
+            elif getters[0].predicate is None and not self.items:
+                # fast path: hand the item straight to the oldest plain
+                # getter.  The getter's wakeup stays heap-scheduled (its
+                # process holds a callback); the putter's own event is
+                # born processed as above.
+                event._ok = True
+                event._value = None
+                event.callbacks = None
+                getters.popleft().succeed(item)
+                return event
         self._putters.append(event)
         self._settle()
         return event
 
     def get(self, predicate: Optional[Callable] = None) -> StoreGet:
         event = StoreGet(self, predicate)
+        if predicate is None and self.items and not self._getters:
+            # fast path: FIFO pop with nobody queued ahead; born
+            # processed (no heap entry), so the caller's ``yield``
+            # continues synchronously
+            event._ok = True
+            event._value = self.items.pop(0)
+            event.callbacks = None
+            # the freed slot may admit waiting putters (store was full)
+            putters = self._putters
+            while putters and len(self.items) < self.capacity:
+                put = putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+            return event
+        if not self.items and not self._putters:
+            # fast path: empty store — the getter just parks; nothing for
+            # _settle to do
+            self._getters.append(event)
+            return event
         self._getters.append(event)
         self._settle()
         return event
@@ -214,12 +361,16 @@ class Store:
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         self.amount = amount
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         self.amount = amount

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+from repro.errors import SimulationError
 from repro.sim.core import Environment
 
 
@@ -44,8 +45,20 @@ class TimeWeightedStat:
         self.record(self._value + delta)
 
     def mean(self, until: Optional[float] = None) -> float:
-        """Time-weighted mean from creation until ``until`` (default: now)."""
+        """Time-weighted mean from creation until ``until`` (default: now).
+
+        ``until`` must not precede the last recorded sample: the collector
+        keeps only the running area, so the signal's history before
+        ``self._last`` cannot be re-integrated.  Allowing it would make
+        the ``self._value * (end - self._last)`` term negative and
+        silently corrupt utilization numbers.
+        """
         end = self.env.now if until is None else until
+        if end < self._last:
+            raise SimulationError(
+                f"mean(until={end}) precedes the last recorded sample at "
+                f"{self._last}; the signal's history is not retained"
+            )
         span = end - self._start
         if span <= 0:
             return self._value
@@ -80,10 +93,21 @@ class Counter:
         self._total += amount
 
     def rate(self, until: Optional[float] = None) -> float:
-        """Total divided by elapsed observation time."""
+        """Total divided by elapsed observation time.
+
+        A zero-length window reports 0.0 (nothing observable yet); a
+        *negative* window — ``until`` before the observation start — is a
+        caller bug and raises, matching
+        :meth:`TimeWeightedStat.mean`'s treatment of out-of-window reads.
+        """
         end = self.env.now if until is None else until
         span = end - self._start
-        if span <= 0:
+        if span < 0:
+            raise SimulationError(
+                f"rate(until={end}) precedes the observation window "
+                f"start at {self._start}"
+            )
+        if span == 0:
             return 0.0
         return self._total / span
 

@@ -91,6 +91,25 @@ class Reactor:
             "poll_iterations": poll_iterations,
         }
 
+    def account_batch(self, count: int, poll_iterations: float = 1.0) -> None:
+        """Bulk form of :meth:`account_request` for coalesced submission.
+
+        Charging is linear in the request count, so one call with ``count``
+        requests leaves the accountant in exactly the state ``count``
+        :meth:`account_request` calls would.
+        """
+        self.accountant.charge(
+            "submit",
+            count * self.config.submit_instructions,
+            self.config.work_ipc,
+        )
+        self.accountant.charge(
+            "poll",
+            count * self.config.poll_instructions_per_iter * poll_iterations,
+            self.config.poll_ipc,
+        )
+        self.accountant.complete_request(count)
+
     @property
     def iops_capacity(self) -> float:
         return 1.0 / self.config.per_request_cpu
@@ -124,6 +143,22 @@ class ReactorPool:
         ]
         self._assignment = [
             index % num_reactors for index in range(num_ssds)
+        ]
+
+    def remap(self, active_count: int) -> None:
+        """Re-assign every SSD round-robin over the first ``active_count``
+        reactors (the Fig. 12 dynamic core adjustment).
+
+        Reactors beyond ``active_count`` keep existing but receive no new
+        work; in-flight requests on them drain normally.
+        """
+        if not 1 <= active_count <= len(self.reactors):
+            raise ConfigurationError(
+                f"active reactor count {active_count} outside "
+                f"[1, {len(self.reactors)}]"
+            )
+        self._assignment = [
+            index % active_count for index in range(len(self._assignment))
         ]
 
     def reactor_for(self, ssd_index: int) -> Reactor:

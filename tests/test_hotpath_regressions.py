@@ -1,0 +1,238 @@
+"""Regression tests for the sim-core fixes that rode along with the
+event-engine hot-path overhaul.
+
+Covers the previously latent bugs: chaining from an untriggered event,
+reading time-weighted stats before their last sample, double-releasing a
+granted resource slot — plus the semantics the fast paths must preserve:
+born-processed grants/puts/gets continue synchronously at the same
+simulated instant, lazy-deleted priority waiters never get granted, and
+fire-and-forget process ends still surface failures.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+from repro.sim.resources import PriorityResource, Resource, Store
+from repro.sim.stats import Counter, TimeWeightedStat
+
+
+# -- Event.trigger on an untriggered source --------------------------------
+
+def test_trigger_from_untriggered_event_raises():
+    env = Environment()
+    source = env.event()
+    target = env.event()
+    with pytest.raises(SimulationError, match="untriggered"):
+        target.trigger(source)
+
+
+def test_trigger_copies_decided_value():
+    env = Environment()
+    source = env.event()
+    source.succeed(42)
+    target = env.event()
+    target.trigger(source)
+    assert target.triggered
+    assert target._value == 42
+
+
+# -- stats window validation -----------------------------------------------
+
+def test_time_weighted_mean_before_last_sample_raises():
+    env = Environment()
+    stat = TimeWeightedStat(env)
+
+    def proc():
+        yield env.timeout(5.0)
+        stat.record(1.0)
+        yield env.timeout(5.0)
+
+    env.run(env.process(proc()))
+    assert stat.mean(until=10.0) == pytest.approx(0.5)
+    with pytest.raises(SimulationError, match="precedes"):
+        stat.mean(until=4.0)
+
+
+def test_counter_rate_negative_window_raises():
+    env = Environment()
+    counter = Counter(env)
+
+    def proc():
+        yield env.timeout(2.0)
+        counter.add(10)
+
+    env.run(env.process(proc()))
+    assert counter.rate(until=2.0) == pytest.approx(5.0)
+    with pytest.raises(SimulationError, match="precedes"):
+        counter.rate(until=-1.0)
+
+
+def test_counter_rate_zero_window_is_zero():
+    env = Environment()
+    counter = Counter(env)
+    counter.add(3)
+    assert counter.rate() == 0.0
+
+
+# -- resource lifecycle ----------------------------------------------------
+
+def test_double_release_of_granted_slot_raises():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    request = resource.request()
+    assert request.triggered  # fast-path grant
+    resource.release(request)
+    with pytest.raises(SimulationError, match="double release"):
+        resource.release(request)
+
+
+def test_release_of_waiting_request_cancels_it():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    holder = resource.request()
+    waiter = resource.request()
+    assert not waiter.triggered
+    resource.release(waiter)  # never granted: cancels, no error
+    assert resource.queued == 0
+    resource.release(holder)
+
+
+def test_priority_resource_lazy_cancel_skips_cancelled_waiters():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    holder = resource.request(priority=0)
+    low = resource.request(priority=5)
+    high = resource.request(priority=1)
+    high.cancel()
+    assert resource.queued == 1
+    resource.release(holder)
+    assert low.triggered
+    assert not high.triggered
+
+
+def test_priority_resource_mass_cancel_compacts():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    holder = resource.request(priority=0)
+    waiters = [resource.request(priority=i) for i in range(100)]
+    for waiter in waiters[:80]:
+        waiter.cancel()
+    assert resource.queued == 20
+    resource.release(holder)
+    assert waiters[80].triggered  # lowest surviving priority wins
+
+
+# -- born-processed fast paths ---------------------------------------------
+
+def test_fast_path_grant_continues_at_same_instant():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    times = []
+
+    def user():
+        yield env.timeout(3.0)
+        with resource.request() as req:
+            yield req
+            times.append(env.now)
+
+    env.run(env.process(user()))
+    assert times == [3.0]
+
+
+def test_fast_path_store_roundtrip_same_instant():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def proc():
+        yield env.timeout(1.0)
+        yield store.put("x")
+        log.append(("put", env.now))
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.run(env.process(proc()))
+    assert log == [("put", 1.0), ("got", "x", 1.0)]
+
+
+def test_store_handoff_wakes_oldest_getter():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(name):
+        item = yield store.get()
+        got.append((name, item, env.now))
+
+    def putter():
+        yield env.timeout(2.0)
+        yield store.put("a")
+        yield store.put("b")
+
+    env.process(getter("first"))
+    env.process(getter("second"))
+    env.process(putter())
+    env.run()
+    assert got == [("first", "a", 2.0), ("second", "b", 2.0)]
+
+
+def test_store_predicate_getter_not_fed_by_fast_path():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter():
+        item = yield store.get(lambda v: v > 10)
+        got.append(item)
+
+    def putter():
+        yield env.timeout(1.0)
+        yield store.put(5)  # does not satisfy the predicate
+        yield store.put(50)
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert got == [50]
+    assert store.items == [5]
+
+
+# -- fire-and-forget process ends ------------------------------------------
+
+def test_fire_and_forget_end_skips_heap_event():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    # init + timeout only; the unobserved success end is free
+    assert env.events_processed == 2
+
+
+def test_awaited_process_end_still_scheduled():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return "done"
+
+    def parent():
+        result = yield env.process(child())
+        return result
+
+    assert env.run(env.process(parent())) == "done"
+
+
+def test_unconsumed_process_failure_still_raises():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
