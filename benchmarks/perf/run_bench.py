@@ -14,6 +14,10 @@ Measures three layers and writes the results to ``BENCH_perf.json``:
   against the recorded pre-overhaul baseline.  The simulated end time is
   reported alongside so a wall-clock win can never silently come from a
   changed simulation.
+* **reliability_sweep** — the same workload with the full reliability
+  bundle attached (retries, circuit breakers, watchdog deadlines):
+  coalesced+reliability vs fan-out+reliability, pinning down that
+  keeping fault tolerance does not force the slow submission path.
 
 Run from the repository root::
 
@@ -54,6 +58,11 @@ BASELINE = {
 
 #: the wall-clock improvement the coalesced path must hold vs BASELINE
 SPEEDUP_TARGET = 3.0
+
+#: the wall-clock improvement coalesced+reliability must hold over
+#: fan-out+reliability on the same workload (ISSUE 4: keeping retries,
+#: watchdogs and breakers must not force the slow submission path)
+RELIABILITY_SPEEDUP_TARGET = 2.0
 
 
 def _best_of(rounds, fn):
@@ -132,6 +141,32 @@ def batch_sweep(coalesce, num_ssds=8, batches=10, requests=8192,
     """Fig08-scale read batches through the CAM control plane."""
     platform = Platform(PlatformConfig(num_ssds=num_ssds), functional=False)
     manager = CamManager(platform, coalesce=coalesce)
+    env = platform.env
+    t0 = time.perf_counter()
+    for index in range(batches):
+        lbas = (np.arange(requests, dtype=np.int64) * 3 + index) % (1 << 20)
+        env.run(
+            manager.ring(
+                BatchRequest(
+                    lbas=lbas, granularity=granularity, is_write=False
+                )
+            )
+        )
+    return time.perf_counter() - t0, env.events_processed, env.now
+
+
+def batch_sweep_reliable(coalesce, num_ssds=8, batches=10, requests=8192,
+                         granularity=4096):
+    """The same fig08-scale workload with the full reliability bundle
+    attached (retries + circuit breakers + per-request watchdog
+    deadlines) — the ISSUE 4 hot-path-with-reliability headline."""
+    from repro.reliability import Reliability
+
+    platform = Platform(PlatformConfig(num_ssds=num_ssds), functional=False)
+    reliability = Reliability(platform)
+    manager = CamManager(
+        platform, coalesce=coalesce, reliability=reliability
+    )
     env = platform.env
     t0 = time.perf_counter()
     for index in range(batches):
@@ -267,10 +302,51 @@ def main(argv=None):
           f"(target {SPEEDUP_TARGET}x, met: {sweep['target_met']})")
     print(f"  sim_end identical: {identical}")
 
+    print("== reliability sweep (same workload, retries+watchdog on) ==")
+    rco_wall, rco_events, rco_end = _best_of(
+        args.rounds, lambda: batch_sweep_reliable(True)
+    )
+    rfan_wall, rfan_events, rfan_end = _best_of(
+        args.rounds, lambda: batch_sweep_reliable(False)
+    )
+    reliable = {
+        "workload": dict(sweep["workload"]),
+        "coalesced": {
+            "wall_s": round(rco_wall, 3),
+            "events": rco_events,
+            "sim_end": rco_end,
+        },
+        "fanout": {
+            "wall_s": round(rfan_wall, 3),
+            "events": rfan_events,
+            "sim_end": rfan_end,
+        },
+        "speedup_vs_fanout": round(rfan_wall / rco_wall, 2),
+        "reliability_overhead_vs_fast_path": round(
+            rco_wall / co_wall, 2
+        ),
+        "speedup_target": RELIABILITY_SPEEDUP_TARGET,
+        # both reliable paths must see the exact same simulated run
+        "sim_end_identical": rco_end == rfan_end,
+    }
+    reliable["target_met"] = (
+        reliable["sim_end_identical"]
+        and reliable["speedup_vs_fanout"] >= RELIABILITY_SPEEDUP_TARGET
+    )
+    results["reliability_sweep"] = reliable
+    print(f"  coalesced+rel {rco_wall:6.2f} s  {rco_events} events")
+    print(f"  fanout+rel    {rfan_wall:6.2f} s  {rfan_events} events")
+    print(f"  speedup vs fanout+rel: {reliable['speedup_vs_fanout']}x "
+          f"(target {RELIABILITY_SPEEDUP_TARGET}x, met: "
+          f"{reliable['target_met']})")
+    print(f"  reliability overhead vs fast path: "
+          f"{reliable['reliability_overhead_vs_fast_path']}x wall")
+    print(f"  sim_end identical: {reliable['sim_end_identical']}")
+
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
-    return 0 if sweep["target_met"] else 1
+    return 0 if (sweep["target_met"] and reliable["target_met"]) else 1
 
 
 if __name__ == "__main__":

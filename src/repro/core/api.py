@@ -44,16 +44,21 @@ class CamContext:
         autotune: bool = True,
         config: Optional[CAMConfig] = None,
         reliability=None,
+        admission=None,
+        supervise_reactors: bool = False,
     ):
         self.platform = platform
         self.env = platform.env
         self.config = config or platform.config.cam
         self.reliability = reliability
+        self.admission = admission
         self.manager = CamManager(
             platform,
             config=self.config,
             num_cores=num_cores,
             reliability=reliability,
+            admission=admission,
+            supervise_reactors=supervise_reactors,
         )
         self.autotuner = (
             CoreAutotuner(platform.num_ssds, config=self.config)

@@ -69,6 +69,8 @@ class CamManager:
         occupy_cores: bool = False,
         reliability=None,
         coalesce: bool = True,
+        admission=None,
+        supervise_reactors: bool = False,
     ):
         self.platform = platform
         self.env = platform.env
@@ -78,17 +80,28 @@ class CamManager:
         #: batch-level failure
         self.reliability = reliability
         #: submit batches through the coalesced per-reactor path
-        #: (:meth:`SpdkDriver.io_batch`) instead of one process per
-        #: request.  Timings are identical; ``coalesce=False`` keeps the
-        #: fan-out path for differential testing.  Reliability implies
-        #: fan-out: retries and watchdog deadlines are per-request.
-        self.coalesce = coalesce and reliability is None
+        #: (:meth:`SpdkDriver.io_batch` /
+        #: :meth:`SpdkDriver.io_batch_reliable`) instead of one process
+        #: per request.  Timings are identical; ``coalesce=False`` keeps
+        #: the fan-out path for differential testing.  With a
+        #: reliability bundle the coalesced path peels failed commands
+        #: off the group and re-drives them per-request, so the fast
+        #: path and the reliable path are the same path.
+        self.coalesce = coalesce
+        #: optional :class:`~repro.reliability.AdmissionController`;
+        #: :meth:`ring` sheds batches beyond its in-flight bounds with a
+        #: typed :class:`~repro.errors.OverloadError`
+        self.admission = admission
         max_cores = max(1, -(-platform.num_ssds // 2))  # ceil(N/2)
         self.driver = SpdkDriver(
             platform,
             num_reactors=num_cores or max_cores,
             occupy_cores=occupy_cores,
             reliability=reliability,
+        )
+        #: optional stall/crash supervisor driving reactor failover
+        self.supervisor = (
+            self.driver.supervise() if supervise_reactors else None
         )
         self._active_reactors = self.driver.num_reactors
         self._inbox: Store = Store(self.env)
@@ -120,9 +133,16 @@ class CamManager:
         """GPU side: hand a batch to the manager (region 3 doorbell).
 
         Returns the batch's completion event (region 4).
+
+        With an admission controller attached, a batch that would push
+        the manager past its in-flight bounds is shed here —
+        synchronously, before the doorbell is even recorded — with a
+        typed :class:`~repro.errors.OverloadError`.
         """
         if batch.request_count == 0:
             raise APIUsageError("empty batch")
+        if self.admission is not None:
+            self.admission.admit(batch.request_count, batch.total_bytes)
         if batch.done is None:
             batch.done = self.env.event()
         batch.submit_time = self.env.now
@@ -159,7 +179,13 @@ class CamManager:
             self.env.process(self._handle_batch(batch))
 
     def _handle_batch(self, batch: BatchRequest) -> Generator:
-        failures = yield from self._process_batch(batch)
+        try:
+            failures = yield from self._process_batch(batch)
+        finally:
+            if self.admission is not None:
+                self.admission.release(
+                    batch.request_count, batch.total_bytes
+                )
         # one definition of batch I/O time everywhere: doorbell ring to
         # completion, as the GPU observes it (includes the poll delay)
         io_time = self.env.now - batch.submit_time
@@ -239,15 +265,43 @@ class CamManager:
 
         The coalesced path groups the batch per owning reactor and walks
         each group inside one generator
-        (:meth:`~repro.spdk.driver.SpdkDriver.io_batch`); the fan-out
-        path spawns one process per request.  Both produce identical
-        simulated timestamps — the differential tests in
-        ``tests/test_coalesced_differential.py`` pin that down.
+        (:meth:`~repro.spdk.driver.SpdkDriver.io_batch` or its
+        reliability-aware sibling
+        :meth:`~repro.spdk.driver.SpdkDriver.io_batch_reliable`); the
+        fan-out path spawns one process per request.  Both produce
+        identical simulated timestamps — the differential tests in
+        ``tests/test_coalesced_differential.py`` and
+        ``tests/test_reliable_coalesced_differential.py`` pin that down.
+
+        In degraded mode (admission controller past its high-water mark,
+        or an open circuit breaker) the batch is processed in slices of
+        ``admission.batch_limit()`` requests so a struggling backend
+        works through smaller units.
         """
-        if self.coalesce:
-            failures = yield from self._process_batch_coalesced(batch)
-        else:
-            failures = yield from self._process_batch_fanout(batch)
+        limit = (
+            self.admission.batch_limit()
+            if self.admission is not None
+            else None
+        )
+        count = batch.request_count
+        if limit is None or limit >= count:
+            if self.coalesce:
+                failures = yield from self._process_batch_coalesced(batch)
+            else:
+                failures = yield from self._process_batch_fanout(batch)
+            return failures
+        failures = []
+        for start in range(0, count, limit):
+            stop = min(start + limit, count)
+            if self.coalesce:
+                part = yield from self._process_batch_coalesced(
+                    batch, start, stop
+                )
+            else:
+                part = yield from self._process_batch_fanout(
+                    batch, start, stop
+                )
+            failures.extend(part)
         return failures
 
     def _payload(self, batch: BatchRequest, index: int):
@@ -260,14 +314,23 @@ class CamManager:
             )
         return None
 
-    def _process_batch_coalesced(self, batch: BatchRequest) -> Generator:
+    def _process_batch_coalesced(
+        self,
+        batch: BatchRequest,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Generator:
         """Group per reactor (batch order preserved inside each group) and
         submit each group through one coalesced generator."""
         driver = self.driver
         platform = self.platform
         handles = driver._handles
+        reliable = self.reliability is not None
+        submit = driver.io_batch_reliable if reliable else driver.io_batch
+        stop = batch.request_count if stop is None else stop
         groups: dict = {}  # Reactor -> [(index, ssd_index, local_lba, payload)]
-        for index, lba in enumerate(batch.lbas):
+        for index in range(start, stop):
+            lba = batch.lbas[index]
             ssd, local_lba = platform.ssd_for_lba(int(lba))
             reactor = handles[ssd.ssd_id].reactor
             items = groups.get(reactor)
@@ -278,7 +341,7 @@ class CamManager:
             )
         grouped = list(groups.values())
         if len(grouped) == 1:
-            results = yield from driver.io_batch(
+            results = yield from submit(
                 grouped[0],
                 batch.granularity,
                 is_write=batch.is_write,
@@ -288,7 +351,7 @@ class CamManager:
         else:
             procs = [
                 self.env.process(
-                    driver.io_batch(
+                    submit(
                         items,
                         batch.granularity,
                         is_write=batch.is_write,
@@ -304,17 +367,40 @@ class CamManager:
                 results.extend(done[proc])
             results.sort(key=lambda pair: pair[0])
         failures = []
-        for index, cqe in results:
-            if not cqe.ok:
+        for index, outcome in results:
+            if isinstance(outcome, DeviceError):
+                # the driver raised a typed error for this request
+                # (watchdog timeout, offline device, dead reactor)
                 failures.append(
-                    (int(batch.lbas[index]), cqe.status, cqe.attempts, None)
+                    (
+                        int(batch.lbas[index]),
+                        getattr(outcome, "status", None) or 0,
+                        getattr(outcome, "attempts", 1),
+                        outcome,
+                    )
+                )
+            elif not outcome.ok:
+                failures.append(
+                    (
+                        int(batch.lbas[index]),
+                        outcome.status,
+                        outcome.attempts,
+                        None,
+                    )
                 )
         return failures
 
-    def _process_batch_fanout(self, batch: BatchRequest) -> Generator:
+    def _process_batch_fanout(
+        self,
+        batch: BatchRequest,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Generator:
         """Fan the batch out over the SSDs and wait for every CQE."""
+        stop = batch.request_count if stop is None else stop
         children = []
-        for index, lba in enumerate(batch.lbas):
+        indexes = range(start, stop)
+        for index in indexes:
             children.append(
                 self.env.process(
                     self._request(batch, index, self._payload(batch, index))
@@ -322,7 +408,7 @@ class CamManager:
             )
         results = yield self.env.all_of(children)
         failures = []
-        for index, child in enumerate(children):
+        for index, child in zip(indexes, children):
             outcome = results[child]
             if isinstance(outcome, DeviceError):
                 failures.append(

@@ -81,6 +81,44 @@ class DeviceOfflineError(DeviceTimeoutError):
     breaker is open); the request cannot complete until it returns."""
 
 
+class ReactorOfflineError(DeviceError):
+    """The reactor (CPU poller) owning a queue pair stalled or crashed.
+
+    Raised when work is charged to a reactor that has been declared dead
+    and no surviving reactor has taken over its SSDs (yet).  Carries the
+    dead reactor's id so failover logic can re-home the request.
+    """
+
+    def __init__(self, message, *, reactor_id=None, ssd_id=None, lba=None,
+                 attempts=1):
+        super().__init__(message)
+        self.reactor_id = reactor_id
+        self.ssd_id = ssd_id
+        self.lba = lba
+        self.attempts = attempts
+
+
+class OverloadError(ReproError):
+    """Admission control shed this request to protect in-flight work.
+
+    Deterministic backpressure: the submitter exceeded the configured
+    in-flight request/byte bounds and must retry later (or slow down).
+    Carries the offered and admitted load so callers can reason about
+    how oversubscribed the control plane was.
+    """
+
+    def __init__(self, message, *, requests=0, nbytes=0,
+                 inflight_requests=0, inflight_bytes=0,
+                 max_requests=None, max_bytes=None):
+        super().__init__(message)
+        self.requests = requests
+        self.nbytes = nbytes
+        self.inflight_requests = inflight_requests
+        self.inflight_bytes = inflight_bytes
+        self.max_requests = max_requests
+        self.max_bytes = max_bytes
+
+
 class InvalidLBAError(DeviceError):
     """An I/O request targeted a logical block address outside the device."""
 

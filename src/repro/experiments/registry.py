@@ -43,6 +43,7 @@ EXTRAS: Dict[str, str] = {
     "paper_scale_gnn": "repro.experiments.extras:run_paper_scale_gnn",
     "ssd_character": "repro.experiments.extras:run_ssd_character",
     "reliability": "repro.experiments.extras:run_reliability",
+    "chaos": "repro.experiments.extras:run_chaos",
 }
 
 

@@ -22,6 +22,14 @@ Fault classes (ISSUE 2):
 * **offline** — the device stops answering entirely: commands are
   accepted and never complete.  Only a completion watchdog
   (:mod:`repro.reliability`) turns that into an error.
+
+Reactor-scoped faults (ISSUE 4) target the control plane itself rather
+than a device: a **stall** wedges one polling core for a window of
+simulated time, and a **crash** kills it outright.  The injector only
+records the plan; :class:`~repro.spdk.driver.SpdkDriver` schedules the
+episodes against its reactors at construction, and a
+:class:`~repro.spdk.reactor.ReactorSupervisor` (opt-in) turns detection
+into failover.
 """
 
 from __future__ import annotations
@@ -57,6 +65,12 @@ class FaultInjector:
         self.faults_delivered = 0
         #: commands swallowed because the device was offline
         self.offline_drops = 0
+        #: planned (reactor_id, start, duration) stall episodes
+        self._reactor_stalls: List[Tuple[int, float, float]] = []
+        #: planned (reactor_id, at) hard crashes
+        self._reactor_crashes: List[Tuple[int, float]] = []
+        #: reactor-scoped episodes actually delivered by a driver
+        self.reactor_faults_delivered = 0
 
     # -- planting -------------------------------------------------------
     def inject_lba(
@@ -91,6 +105,36 @@ class FaultInjector:
     @property
     def offline_devices(self) -> Set[int]:
         return set(self._offline)
+
+    # -- reactor-scoped faults ------------------------------------------
+    def stall_reactor(
+        self, reactor_id: int, start: float, duration: float
+    ) -> None:
+        """Wedge reactor ``reactor_id`` for ``[start, start + duration)``.
+
+        Queued work waits out the stall (or fails over, if a supervisor
+        notices first).
+        """
+        if duration <= 0:
+            raise ConfigurationError(
+                f"stall duration must be positive, got {duration}"
+            )
+        self._reactor_stalls.append((reactor_id, start, duration))
+
+    def crash_reactor(self, reactor_id: int, at: float = 0.0) -> None:
+        """Kill reactor ``reactor_id`` at simulated time ``at``."""
+        self._reactor_crashes.append((reactor_id, at))
+
+    def has_reactor_faults(self) -> bool:
+        return bool(self._reactor_stalls or self._reactor_crashes)
+
+    @property
+    def reactor_stalls(self) -> List[Tuple[int, float, float]]:
+        return list(self._reactor_stalls)
+
+    @property
+    def reactor_crashes(self) -> List[Tuple[int, float]]:
+        return list(self._reactor_crashes)
 
     # -- latency degradation episodes -----------------------------------
     def degrade(

@@ -27,9 +27,14 @@ class CompletionGroup:
     will be added) and every expected CQE has been dispatched.  The event
     fires at exactly the simulated instant the *last* per-command waiter
     would have fired, so batch timings match the fan-out path.
+
+    A group may instead carry a ``sink`` callable: each CQE is then
+    handed to ``sink(cqe)`` the instant it arrives and the group's event
+    never fires.  Reliability-aware submitters use this to peel failed
+    commands off the group (for retries) without delaying the rest.
     """
 
-    __slots__ = ("event", "results", "remaining", "sealed")
+    __slots__ = ("event", "results", "remaining", "sealed", "sink")
 
     def __init__(self, env: Environment):
         self.event = env.event()
@@ -37,6 +42,8 @@ class CompletionGroup:
         self.results: Dict[int, CQE] = {}
         self.remaining = 0
         self.sealed = False
+        #: per-CQE callback; when set, results/event are bypassed
+        self.sink: Optional[Callable[[CQE], None]] = None
 
 
 class CompletionDispatcher:
@@ -80,8 +87,11 @@ class CompletionDispatcher:
         if group is None:
             return False
         self.completions.add()
-        group.results[cqe.command_id] = cqe
         group.remaining -= 1
+        if group.sink is not None:
+            group.sink(cqe)
+            return True
+        group.results[cqe.command_id] = cqe
         if group.sealed and group.remaining == 0:
             group.event.succeed(group.results)
         return True
@@ -111,7 +121,11 @@ class CompletionDispatcher:
     def seal(self, group: CompletionGroup) -> None:
         """No more commands will join; fire once all expected CQEs arrive."""
         group.sealed = True
-        if group.remaining == 0 and not group.event.triggered:
+        if (
+            group.sink is None
+            and group.remaining == 0
+            and not group.event.triggered
+        ):
             group.event.succeed(group.results)
 
     def _run(self) -> Generator:
@@ -129,8 +143,11 @@ class CompletionDispatcher:
                 self.on_complete(cqe)
             group = self._groups.pop(cqe.command_id, None)
             if group is not None:
-                group.results[cqe.command_id] = cqe
                 group.remaining -= 1
+                if group.sink is not None:
+                    group.sink(cqe)
+                    continue
+                group.results[cqe.command_id] = cqe
                 if group.sealed and group.remaining == 0:
                     group.event.succeed(group.results)
                 continue

@@ -85,6 +85,7 @@ class KernelStack:
         submit_threads: int,
         config: Optional[KernelIOConfig] = None,
         reliability=None,
+        admission=None,
     ):
         self.platform = platform
         self.env = platform.env
@@ -92,6 +93,9 @@ class KernelStack:
         #: optional :class:`~repro.reliability.Reliability` bundle; None
         #: keeps the original fail-fast -EIO behaviour
         self.reliability = reliability
+        #: optional :class:`~repro.reliability.AdmissionController`
+        #: bounding in-flight requests/bytes through :meth:`io`
+        self.admission = admission
         self.iomap = IOMapper(self.env, self.config)
         #: serializes submission-side CPU work across the stack's threads
         self._submit_cpu = Resource(self.env, capacity=max(1, submit_threads))
@@ -141,8 +145,38 @@ class KernelStack:
         """Process: one I/O through the kernel path.
 
         ``lba`` is a *global* (RAID0-striped) LBA unless ``ssd_index``
-        pins the request to a specific device.
+        pins the request to a specific device.  With an admission
+        controller attached, requests beyond the in-flight bounds are
+        shed with :class:`~repro.errors.OverloadError` before any kernel
+        work is charged.
         """
+        admission = self.admission
+        if admission is None:
+            cqe = yield from self._io(
+                lba, nbytes, is_write, payload, target, target_offset,
+                ssd_index,
+            )
+            return cqe
+        admission.admit(1, nbytes)
+        try:
+            cqe = yield from self._io(
+                lba, nbytes, is_write, payload, target, target_offset,
+                ssd_index,
+            )
+        finally:
+            admission.release(1, nbytes)
+        return cqe
+
+    def _io(
+        self,
+        lba: int,
+        nbytes: int,
+        is_write: bool = False,
+        payload=None,
+        target=None,
+        target_offset: int = 0,
+        ssd_index: Optional[int] = None,
+    ) -> Generator:
         block_size = self.platform.config.ssd.block_size
         num_blocks = max(1, -(-nbytes // block_size))
         if ssd_index is None:

@@ -13,9 +13,14 @@ package adds the machinery real deployments need (ISSUE 2):
   planes consume (pass ``reliability=`` to any backend factory);
 * :class:`~repro.reliability.replica.ReplicatedBackend` — mirror pairs
   with degraded reads and hot-spare rebuild, composable under any
-  backend.
+  backend;
+* :class:`~repro.reliability.admission.AdmissionController` — bounded
+  in-flight work with deterministic shedding
+  (:class:`~repro.errors.OverloadError`) and degraded-mode batch
+  shrinking (ISSUE 4).
 """
 
+from repro.reliability.admission import AdmissionController
 from repro.reliability.health import (
     DeviceHealth,
     HealthState,
@@ -27,6 +32,7 @@ from repro.reliability.replica import ReplicatedBackend
 from repro.reliability.watchdog import CompletionWatchdog
 
 __all__ = [
+    "AdmissionController",
     "CompletionWatchdog",
     "DeviceHealth",
     "HealthState",

@@ -1,0 +1,158 @@
+"""Admission control: bounded in-flight work with deterministic shedding.
+
+CAM's managers accept every doorbell ring; under a burst that
+oversubscribes the reactors, queues grow without bound and every
+request's latency grows with them.  An :class:`AdmissionController`
+bounds the in-flight requests and bytes a control plane will carry:
+work beyond the bound is *shed* synchronously with a typed
+:class:`~repro.errors.OverloadError` (the GPU-side submitter sees the
+rejection immediately and can back off), so the p99 latency of admitted
+work stays a function of the configured bound rather than of the
+offered load.
+
+The controller also drives *degraded mode*: when utilization crosses
+``high_water`` or any device's circuit breaker is open, batches are
+sliced to ``degraded_batch_limit`` requests so a struggling backend
+works through smaller units and health probes get answers sooner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError, OverloadError
+from repro.reliability.health import HealthState
+from repro.sim.stats import Counter
+
+
+class AdmissionController:
+    """Bounds in-flight requests/bytes for one control plane."""
+
+    def __init__(
+        self,
+        env,
+        max_inflight_requests: int = 4096,
+        max_inflight_bytes: int = 64 << 20,
+        health=None,
+        degraded_batch_limit: Optional[int] = 64,
+        high_water: float = 0.75,
+    ):
+        if max_inflight_requests < 1:
+            raise ConfigurationError(
+                "max_inflight_requests must be >= 1, got "
+                f"{max_inflight_requests}"
+            )
+        if max_inflight_bytes < 1:
+            raise ConfigurationError(
+                f"max_inflight_bytes must be >= 1, got {max_inflight_bytes}"
+            )
+        if degraded_batch_limit is not None and degraded_batch_limit < 1:
+            raise ConfigurationError(
+                "degraded_batch_limit must be >= 1 or None, got "
+                f"{degraded_batch_limit}"
+            )
+        if not 0.0 < high_water <= 1.0:
+            raise ConfigurationError(
+                f"high_water must be in (0, 1], got {high_water}"
+            )
+        self.env = env
+        self.max_inflight_requests = max_inflight_requests
+        self.max_inflight_bytes = max_inflight_bytes
+        #: optional :class:`~repro.reliability.HealthTracker` consulted
+        #: for degraded mode (an open breaker anywhere shrinks batches)
+        self.health = health
+        self.degraded_batch_limit = degraded_batch_limit
+        self.high_water = high_water
+        self.inflight_requests = 0
+        self.inflight_bytes = 0
+        self.admitted_requests = Counter(env)
+        self.shed_requests = Counter(env)
+
+    # -- admission ------------------------------------------------------
+    def would_admit(self, requests: int, nbytes: int = 0) -> bool:
+        return (
+            self.inflight_requests + requests <= self.max_inflight_requests
+            and self.inflight_bytes + nbytes <= self.max_inflight_bytes
+        )
+
+    def admit(self, requests: int, nbytes: int = 0) -> None:
+        """Claim capacity for ``requests``/``nbytes`` or shed them.
+
+        Raises :class:`OverloadError` — synchronously, before any
+        simulated work happens — when the claim would exceed a bound.
+        """
+        if not self.would_admit(requests, nbytes):
+            self.shed_requests.add(requests)
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "overload_shed",
+                    requests=requests,
+                    nbytes=nbytes,
+                    inflight_requests=self.inflight_requests,
+                    inflight_bytes=self.inflight_bytes,
+                )
+            raise OverloadError(
+                f"admission control shed {requests} requests "
+                f"({nbytes} bytes): "
+                f"{self.inflight_requests}/{self.max_inflight_requests} "
+                f"requests and {self.inflight_bytes}/"
+                f"{self.max_inflight_bytes} bytes already in flight",
+                requests=requests,
+                nbytes=nbytes,
+                inflight_requests=self.inflight_requests,
+                inflight_bytes=self.inflight_bytes,
+                max_requests=self.max_inflight_requests,
+                max_bytes=self.max_inflight_bytes,
+            )
+        self.inflight_requests += requests
+        self.inflight_bytes += nbytes
+        self.admitted_requests.add(requests)
+
+    def release(self, requests: int, nbytes: int = 0) -> None:
+        """Return capacity once the admitted work terminated."""
+        self.inflight_requests = max(0, self.inflight_requests - requests)
+        self.inflight_bytes = max(0, self.inflight_bytes - nbytes)
+
+    # -- degraded mode --------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of the tighter bound currently in use."""
+        return max(
+            self.inflight_requests / self.max_inflight_requests,
+            self.inflight_bytes / self.max_inflight_bytes,
+        )
+
+    def degraded(self) -> bool:
+        """Should batches shrink right now?
+
+        True when utilization crossed ``high_water`` or any tracked
+        device's breaker is open (tripped or offline).
+        """
+        if self.utilization() > self.high_water:
+            return True
+        if self.health is not None:
+            for state in self.health.snapshot().values():
+                if state in (
+                    HealthState.TRIPPED.value,
+                    HealthState.OFFLINE.value,
+                ):
+                    return True
+        return False
+
+    def batch_limit(self) -> Optional[int]:
+        """Max requests one batch slice may carry, or ``None`` for no cap."""
+        if self.degraded_batch_limit is None:
+            return None
+        return self.degraded_batch_limit if self.degraded() else None
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight_requests": self.inflight_requests,
+            "inflight_bytes": self.inflight_bytes,
+            "max_inflight_requests": self.max_inflight_requests,
+            "max_inflight_bytes": self.max_inflight_bytes,
+            "admitted": self.admitted_requests.total,
+            "shed": self.shed_requests.total,
+            "utilization": self.utilization(),
+            "degraded": self.degraded(),
+        }

@@ -73,6 +73,7 @@ class Reliability:
         lba: int = 0,
         is_write: bool = False,
         parent_span=None,
+        first_cqe=None,
     ) -> Generator:
         """Process: drive ``attempt`` (a generator factory returning a
         CQE) under the retry policy.
@@ -82,15 +83,26 @@ class Reliability:
         refused further attempts.  The CQE's ``attempts`` field records
         how many device attempts were spent.  Each backoff emits a
         ``retry`` span so traces show recovery happening.
+
+        ``first_cqe`` lets a coalesced submitter hand over a request
+        whose first device attempt already happened (and failed) outside
+        this loop: the CQE counts as attempt 1 and the loop starts at
+        the failure handling, so retry accounting, backoff schedules and
+        breaker decisions are identical to having run the first attempt
+        here.
         """
         policy = self.policy
         attempts = 0
         spent = 0.0
+        cqe = first_cqe
+        if cqe is not None:
+            attempts = 1
         while True:
-            attempts += 1
-            cqe = yield from attempt()
             if cqe is None:
-                return cqe
+                attempts += 1
+                cqe = yield from attempt()
+                if cqe is None:
+                    return cqe
             if cqe.ok:
                 cqe.attempts = attempts
                 self.health.record_success(ssd_id)
@@ -126,3 +138,4 @@ class Reliability:
             yield self.env.timeout(delay)
             if span is not None:
                 tracer.end(span, delay=delay)
+            cqe = None  # next loop iteration runs a fresh attempt

@@ -14,13 +14,19 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from repro.config import SPDKConfig
-from repro.errors import ConfigurationError, DeviceTimeoutError
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    DeviceOfflineError,
+    DeviceTimeoutError,
+    ReactorOfflineError,
+)
 from repro.hw.nvme import SQE, NVMeOpcode
 from repro.hw.platform import Platform
 from repro.oskernel.blockio import CompletionDispatcher
 from repro.sim.core import Timeout
 from repro.sim.stats import Counter
-from repro.spdk.reactor import Reactor, ReactorPool
+from repro.spdk.reactor import Reactor, ReactorPool, ReactorSupervisor
 
 
 @dataclass
@@ -36,6 +42,11 @@ class SpdkQueuePairHandle:
 class SpdkDriver:
     """Per-SSD user-space queue pairs driven by a reactor pool."""
 
+    #: how often a re-homed request re-checks its SSD's handle while
+    #: waiting for failover, and how long it waits before giving up
+    failover_poll = 1e-3
+    failover_grace = 25e-3
+
     def __init__(
         self,
         platform: Platform,
@@ -43,6 +54,7 @@ class SpdkDriver:
         config: Optional[SPDKConfig] = None,
         occupy_cores: bool = False,
         reliability=None,
+        admission=None,
     ):
         self.platform = platform
         self.env = platform.env
@@ -50,6 +62,9 @@ class SpdkDriver:
         #: optional :class:`~repro.reliability.Reliability` bundle; None
         #: keeps the original fail-fast behaviour
         self.reliability = reliability
+        #: optional :class:`~repro.reliability.AdmissionController`
+        #: bounding in-flight work through :meth:`io`
+        self.admission = admission
         reactors = num_reactors or platform.num_ssds
         self.pool = ReactorPool(
             self.env,
@@ -69,17 +84,125 @@ class SpdkDriver:
             )
         self.requests_done = Counter(self.env)
         self.bytes_done = Counter(self.env)
+        #: chaos invariant: a request settling twice would count here
+        self.duplicate_completions = 0
+        self.supervisor: Optional[ReactorSupervisor] = None
+        self._install_reactor_faults()
 
     @property
     def num_reactors(self) -> int:
         return self.pool.num_reactors
 
-    def remap(self, active_count: int) -> None:
+    def remap(self, active_count: Optional[int] = None) -> None:
         """Spread the SSDs over the first ``active_count`` reactors and
         rebind each queue-pair handle to its new owner."""
         self.pool.remap(active_count)
         for handle in self._handles:
             handle.reactor = self.pool.reactor_for(handle.ssd_index)
+
+    # -- reactor fault tolerance ---------------------------------------
+    def fail_reactor(self, reactor_id: int) -> None:
+        """Declare a reactor dead and fail its work over to survivors.
+
+        Re-homes every SSD the dead reactor owned onto alive reactors
+        (within the active window), rebinds the queue-pair handles, and
+        only then fails the dead reactor's queued charges — rescued
+        submitters re-fetch their SSD's handle and land on the new
+        owner.  With no survivors the handles stay put and waiters get
+        :class:`~repro.errors.ReactorOfflineError`.
+        """
+        if not 0 <= reactor_id < len(self.pool.reactors):
+            raise ConfigurationError(f"no reactor {reactor_id}")
+        reactor = self.pool.reactors[reactor_id]
+        first = not reactor.crashed
+        reactor.crashed = True
+        try:
+            self.remap()
+        except ReactorOfflineError:
+            # the whole pool is dead: nothing to re-home onto; queued
+            # work still gets typed errors from the drain below
+            pass
+        if first:
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "reactor_failover",
+                    reactor=reactor_id,
+                    survivors=len(self.pool.alive_reactors()),
+                )
+        reactor.crash()
+
+    def revive_reactor(self, reactor_id: int) -> None:
+        """Bring a crashed reactor back and re-balance SSDs over it."""
+        if not 0 <= reactor_id < len(self.pool.reactors):
+            raise ConfigurationError(f"no reactor {reactor_id}")
+        self.pool.reactors[reactor_id].revive()
+        self.remap()
+
+    def supervise(self, **kwargs) -> ReactorSupervisor:
+        """Start (or return) the stall/crash supervisor for this pool."""
+        if self.supervisor is None:
+            self.supervisor = ReactorSupervisor(
+                self.pool, self.fail_reactor, **kwargs
+            )
+        return self.supervisor
+
+    def _install_reactor_faults(self) -> None:
+        """Schedule injector-planted reactor stalls/crashes.
+
+        No processes (and no heap entries) are created when the injector
+        has no reactor faults, so fault-free runs stay bit-identical.
+        """
+        injector = self.platform.fault_injector
+        if injector is None or not injector.has_reactor_faults():
+            return
+        for reactor_id, start, duration in injector.reactor_stalls:
+            if not 0 <= reactor_id < len(self.pool.reactors):
+                raise ConfigurationError(
+                    f"stall planted on unknown reactor {reactor_id}"
+                )
+            self.env.process(
+                self._stall_episode(reactor_id, start, duration)
+            )
+        for reactor_id, at in injector.reactor_crashes:
+            if not 0 <= reactor_id < len(self.pool.reactors):
+                raise ConfigurationError(
+                    f"crash planted on unknown reactor {reactor_id}"
+                )
+            self.env.process(self._crash_episode(reactor_id, at))
+
+    def _stall_episode(
+        self, reactor_id: int, start: float, duration: float
+    ) -> Generator:
+        if start:
+            yield self.env.timeout(start)
+        self.platform.fault_injector.reactor_faults_delivered += 1
+        yield from self.pool.reactors[reactor_id].stall(duration)
+
+    def _crash_episode(self, reactor_id: int, at: float) -> Generator:
+        if at:
+            yield self.env.timeout(at)
+        self.platform.fault_injector.reactor_faults_delivered += 1
+        # the crash itself only kills the reactor; healing (re-homing
+        # its SSDs) is the supervisor's job — or the test's, explicitly
+        self.pool.reactors[reactor_id].crash()
+
+    def _await_failover(
+        self, ssd_index: int, dead_reactor: Reactor
+    ) -> Generator:
+        """Process: wait briefly for a supervisor to re-home an SSD.
+
+        Returns the SSD's re-homed handle, or ``None`` if nothing
+        rescued it within ``failover_grace``.
+        """
+        waited = 0.0
+        while waited < self.failover_grace:
+            yield self.env.timeout(self.failover_poll)
+            waited += self.failover_poll
+            handle = self._handles[ssd_index]
+            if not handle.reactor.crashed:
+                return handle
+        return None
 
     def handle(self, ssd_index: int) -> SpdkQueuePairHandle:
         if not 0 <= ssd_index < len(self._handles):
@@ -110,29 +233,38 @@ class SpdkDriver:
             ssd_index = ssd.ssd_id
         else:
             local_lba = lba
-        handle = self._handles[ssd_index]
 
         def attempt():
+            # re-fetch the handle each attempt: a failover may have
+            # re-homed this SSD onto a surviving reactor between retries
             return self._attempt(
-                handle, ssd_index, local_lba, num_blocks, nbytes,
-                is_write, payload, target, target_offset, parent_span,
+                self._handles[ssd_index], ssd_index, local_lba,
+                num_blocks, nbytes, is_write, payload, target,
+                target_offset, parent_span,
             )
 
-        if self.reliability is None:
-            cqe = yield from attempt()
-        else:
-            try:
-                cqe = yield from self.reliability.run(
-                    attempt,
-                    ssd_id=ssd_index,
-                    lba=local_lba,
-                    is_write=is_write,
-                    parent_span=parent_span,
-                )
-            except DeviceTimeoutError:
-                # the watchdog expired: the device is not answering
-                self.reliability.health.mark_offline(ssd_index)
-                raise
+        admission = self.admission
+        if admission is not None:
+            admission.admit(1, nbytes)
+        try:
+            if self.reliability is None:
+                cqe = yield from attempt()
+            else:
+                try:
+                    cqe = yield from self.reliability.run(
+                        attempt,
+                        ssd_id=ssd_index,
+                        lba=local_lba,
+                        is_write=is_write,
+                        parent_span=parent_span,
+                    )
+                except DeviceTimeoutError:
+                    # the watchdog expired: the device is not answering
+                    self.reliability.health.mark_offline(ssd_index)
+                    raise
+        finally:
+            if admission is not None:
+                admission.release(1, nbytes)
 
         self.requests_done.add()
         self.bytes_done.add(nbytes)
@@ -151,9 +283,35 @@ class SpdkDriver:
         target_offset: int,
         parent_span,
     ) -> Generator:
-        """One device attempt: reactor charge, fresh SQE, CQE wait."""
+        """One device attempt: reactor charge, fresh SQE, CQE wait.
+
+        If the owning reactor is (or goes) offline, the attempt follows
+        the SSD's handle to its failed-over reactor; with a reliability
+        bundle it additionally waits up to ``failover_grace`` for a
+        supervisor to re-home the SSD before giving up with
+        :class:`~repro.errors.ReactorOfflineError`.
+        """
         # submission + completion-poll CPU on the owning reactor
-        span = yield from handle.reactor.charge(parent=parent_span)
+        while True:
+            try:
+                span = yield from handle.reactor.charge(parent=parent_span)
+                break
+            except ReactorOfflineError:
+                current = self._handles[ssd_index]
+                if (
+                    current.reactor is not handle.reactor
+                    and not current.reactor.crashed
+                ):
+                    # failover already re-homed this SSD — retry there
+                    handle = current
+                    continue
+                if self.reliability is None:
+                    raise
+                handle = yield from self._await_failover(
+                    ssd_index, current.reactor
+                )
+                if handle is None:
+                    raise
         cost = handle.reactor.account_request(
             poll_iterations=self._poll_iterations(is_write)
         )
@@ -210,14 +368,18 @@ class SpdkDriver:
         :class:`~repro.oskernel.blockio.CompletionGroup` per SSD instead
         of one waiter event + process per request.
 
-        Returns a list of ``(orig_index, CQE)`` sorted by ``orig_index``.
+        Returns a list of ``(orig_index, outcome)`` sorted by
+        ``orig_index`` — each outcome a CQE, or a
+        :class:`~repro.errors.ReactorOfflineError` for items the owning
+        reactor crashed under before they reached the wire.
 
         Only valid without a reliability bundle — per-request retries and
-        watchdog deadlines need the per-request path.
+        watchdog deadlines ride :meth:`io_batch_reliable` instead.
         """
         if self.reliability is not None:
             raise ConfigurationError(
-                "io_batch is the fail-fast path; use io() with reliability"
+                "io_batch is the fail-fast path; use io_batch_reliable "
+                "with a reliability bundle"
             )
         if not items:
             return []
@@ -235,59 +397,79 @@ class SpdkDriver:
 
         per_request_cpu = self.config.per_request_cpu
         tracing = tracer.enabled
-        with reactor._serial.request() as slot:
-            yield slot
-            for orig_index, ssd_index, local_lba, payload in items:
-                handle = handles[ssd_index]
-                if handle.reactor is not reactor:
-                    raise ConfigurationError(
-                        f"io_batch group mixes reactors: SSD {ssd_index} "
-                        f"is owned by reactor "
-                        f"{handle.reactor.reactor_id}, group started on "
-                        f"{reactor.reactor_id}"
+        submitted = 0
+        # Manual request lifecycle (not ``with``): a crash may fail our
+        # queued slot request, and the context manager's release on a
+        # triggered-but-never-granted request raises double-release.
+        slot = reactor._serial.request()
+        granted = False
+        try:
+            try:
+                yield slot
+                granted = True
+            except ReactorOfflineError:
+                pass  # every item becomes a typed outcome below
+            if granted:
+                for orig_index, ssd_index, local_lba, payload in items:
+                    if reactor.crashed:
+                        break
+                    handle = handles[ssd_index]
+                    if handle.reactor is not reactor:
+                        raise ConfigurationError(
+                            f"io_batch group mixes reactors: SSD "
+                            f"{ssd_index} is owned by reactor "
+                            f"{handle.reactor.reactor_id}, group started "
+                            f"on {reactor.reactor_id}"
+                        )
+                    span = None
+                    if tracing:
+                        span = tracer.begin(
+                            "submit",
+                            parent=parent_span,
+                            reactor=reactor.reactor_id,
+                        )
+                    yield Timeout(env, per_request_cpu)
+                    if tracing:
+                        # per-request spans keep the fig03/fig13
+                        # breakdowns intact; the bulk accounting below
+                        # covers the instruction/cycle charges when
+                        # tracing is off
+                        cost = reactor.account_request(
+                            poll_iterations=poll_iterations
+                        )
+                        span.tags["ssd"] = ssd_index
+                        span.tags["is_write"] = is_write
+                        span.tags.update(cost)
+                        tracer.end(span)
+                    sqe = SQE(
+                        opcode=opcode,
+                        lba=local_lba,
+                        num_blocks=num_blocks,
+                        payload=payload,
+                        target=target,
+                        target_offset=orig_index * granularity,
+                        trace_span=parent_span,
                     )
-                span = None
-                if tracing:
-                    span = tracer.begin(
-                        "submit",
-                        parent=parent_span,
-                        reactor=reactor.reactor_id,
-                    )
-                yield Timeout(env, per_request_cpu)
-                if tracing:
-                    # per-request spans keep the fig03/fig13 breakdowns
-                    # intact; the bulk accounting below covers the
-                    # instruction/cycle charges when tracing is off
-                    cost = reactor.account_request(
-                        poll_iterations=poll_iterations
-                    )
-                    span.tags["ssd"] = ssd_index
-                    span.tags["is_write"] = is_write
-                    span.tags.update(cost)
-                    tracer.end(span)
-                sqe = SQE(
-                    opcode=opcode,
-                    lba=local_lba,
-                    num_blocks=num_blocks,
-                    payload=payload,
-                    target=target,
-                    target_offset=orig_index * granularity,
-                    trace_span=parent_span,
-                )
-                group = groups.get(ssd_index)
-                if group is None:
-                    group = handle.dispatcher.open_group()
-                    groups[ssd_index] = group
-                handle.dispatcher.expect(group, sqe.command_id)
-                owners[sqe.command_id] = orig_index
-                # ring bypass: the SQ consumer would spawn the handler at
-                # this same instant anyway; hand the SQE to the device
-                # directly and skip the ring hop
-                ssds[ssd_index].submit_direct(handle.queue_pair, sqe)
-        reactor.requests.add(len(items))
-        if not tracing:
+                    group = groups.get(ssd_index)
+                    if group is None:
+                        group = handle.dispatcher.open_group()
+                        groups[ssd_index] = group
+                    handle.dispatcher.expect(group, sqe.command_id)
+                    owners[sqe.command_id] = orig_index
+                    # ring bypass: the SQ consumer would spawn the
+                    # handler at this same instant anyway; hand the SQE
+                    # to the device directly and skip the ring hop
+                    ssds[ssd_index].submit_direct(handle.queue_pair, sqe)
+                    submitted += 1
+        finally:
+            if granted:
+                reactor._serial.release(slot)
+            elif not slot.triggered:
+                slot.cancel()
+        reactor.requests.add(submitted)
+        if not tracing and submitted:
             reactor.account_batch(
-                len(items), poll_iterations=poll_iterations
+                submitted, poll_iterations=poll_iterations
             )
 
         results = []
@@ -297,9 +479,314 @@ class SpdkDriver:
             cqes = yield group.event
             for command_id, cqe in cqes.items():
                 results.append((owners[command_id], cqe))
-        self.requests_done.add(len(items))
-        self.bytes_done.add(len(items) * granularity)
+        for orig_index, ssd_index, local_lba, payload in items[submitted:]:
+            results.append((
+                orig_index,
+                ReactorOfflineError(
+                    f"reactor {reactor.reactor_id} crashed before "
+                    f"submitting ssd {ssd_index} lba {local_lba}",
+                    reactor_id=reactor.reactor_id,
+                    ssd_id=ssd_index,
+                    lba=local_lba,
+                ),
+            ))
+        self.requests_done.add(submitted)
+        self.bytes_done.add(submitted * granularity)
         results.sort(key=lambda pair: pair[0])
+        return results
+
+    def io_batch_reliable(
+        self,
+        items,
+        granularity: int,
+        is_write: bool = False,
+        target=None,
+        parent_span=None,
+    ) -> Generator:
+        """Process: coalesced submission with per-request reliability.
+
+        Same submission shape as :meth:`io_batch` — one serial hold for
+        the group, per-item CPU charge, SQ/CQ ring bypass — but each
+        completion flows through a :class:`CompletionGroup` *sink*
+        instead of the group event: successful CQEs settle at coalesced
+        speed, failed CQEs are peeled off and re-driven through
+        :meth:`Reliability.run` (the failed CQE counts as attempt 1, so
+        retry/backoff/breaker accounting matches the fan-out path
+        exactly), and every in-flight item carries the same watchdog
+        deadline the fan-out path would arm.  If the owning reactor
+        crashes mid-group, unsubmitted items fall back to the full
+        per-request path, which waits out a failover.
+
+        Returns a list of ``(orig_index, outcome)`` sorted by
+        ``orig_index`` — each outcome a CQE (ok, or the final failure
+        after the retry budget) or a typed
+        :class:`~repro.errors.DeviceError` (watchdog timeouts, offline
+        devices, an unrescued reactor crash).
+        """
+        reliability = self.reliability
+        if reliability is None:
+            raise ConfigurationError(
+                "io_batch_reliable needs a reliability bundle; "
+                "use io_batch"
+            )
+        if not items:
+            return []
+        env = self.env
+        block_size = self.platform.config.ssd.block_size
+        num_blocks = max(1, -(-granularity // block_size))
+        poll_iterations = self._poll_iterations(is_write)
+        opcode = NVMeOpcode.WRITE if is_write else NVMeOpcode.READ
+        handles = self._handles
+        ssds = self.platform.ssds
+        reactor = handles[items[0][1]].reactor
+        tracer = env.tracer
+        tracing = tracer.enabled
+        per_request_cpu = self.config.per_request_cpu
+        watchdog = reliability.watchdog
+        injector = self.platform.fault_injector
+
+        by_index = {item[0]: item for item in items}
+        outcomes = {}  # orig_index -> CQE | DeviceError
+        #: orig_indexes whose first CQE arrived (disarms the watchdog;
+        #: retries arm their own guards inside _attempt)
+        first_done = set()
+        all_done = env.event()
+        state = {"remaining": len(items)}
+
+        def settle(orig_index, outcome):
+            if orig_index in outcomes:
+                # invariant: a request terminates exactly once
+                self.duplicate_completions += 1
+                return
+            outcomes[orig_index] = outcome
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                all_done.succeed()
+
+        def make_attempt(orig_index, ssd_index, local_lba, payload):
+            def attempt():
+                # re-fetch the handle: after a failover the SSD may
+                # have been re-homed onto a surviving reactor
+                return self._attempt(
+                    self._handles[ssd_index], ssd_index, local_lba,
+                    num_blocks, granularity, is_write, payload, target,
+                    orig_index * granularity, parent_span,
+                )
+            return attempt
+
+        def redrive(orig_index, ssd_index, local_lba, payload):
+            """Process: the full per-request reliable path for one item
+            (used for items that never reached the wire)."""
+            try:
+                cqe = yield from reliability.run(
+                    make_attempt(orig_index, ssd_index, local_lba, payload),
+                    ssd_id=ssd_index,
+                    lba=local_lba,
+                    is_write=is_write,
+                    parent_span=parent_span,
+                )
+            except DeviceTimeoutError as error:
+                reliability.health.mark_offline(ssd_index)
+                settle(orig_index, error)
+                return
+            except DeviceError as error:
+                settle(orig_index, error)
+                return
+            settle(orig_index, cqe)
+
+        def redrive_failed(hop, orig_index, ssd_index, local_lba, payload,
+                           first_cqe):
+            """Process: re-drive one failed command through the retry loop.
+
+            The fan-out path delivers a failed CQE to its request process
+            across three same-instant event hops — the CQ-ring wake, the
+            per-command waiter event, and the watchdog's AnyOf condition.
+            The sink absorbs the CQE with zero hops, so this process
+            replays them before entering :meth:`Reliability.run`; the
+            retry's backoff timer is then created at exactly the position
+            in the event order where the fan-out path would create it,
+            keeping same-instant tie-breaks on shared stages bit-identical.
+            """
+            yield hop                # CQ-ring -> dispatcher wake
+            yield env.timeout(0.0)   # per-command waiter event
+            yield env.timeout(0.0)   # watchdog AnyOf condition
+            try:
+                cqe = yield from reliability.run(
+                    make_attempt(orig_index, ssd_index, local_lba, payload),
+                    ssd_id=ssd_index,
+                    lba=local_lba,
+                    is_write=is_write,
+                    parent_span=parent_span,
+                    first_cqe=first_cqe,
+                )
+            except DeviceTimeoutError as error:
+                reliability.health.mark_offline(ssd_index)
+                settle(orig_index, error)
+                return
+            except DeviceError as error:
+                settle(orig_index, error)
+                return
+            settle(orig_index, cqe)
+
+        def make_sink(ssd_index):
+            def sink(cqe):
+                orig_index = owners[cqe.command_id]
+                if orig_index in outcomes:
+                    return  # watchdog already settled it
+                first_done.add(orig_index)
+                if cqe.ok:
+                    # mirror Reliability.run's first-attempt success
+                    cqe.attempts = 1
+                    reliability.health.record_success(ssd_index)
+                    settle(orig_index, cqe)
+                    return
+                item = by_index[orig_index]
+                hop = env.timeout(0.0)
+                env.process(
+                    redrive_failed(
+                        hop, orig_index, ssd_index, item[2], item[3], cqe
+                    )
+                )
+            return sink
+
+        def arm_watchdog(orig_index, ssd_index, local_lba):
+            # same deadline the fan-out guard would race the CQE against
+            deadline = watchdog.deadline(granularity)
+            timer = env.timeout(deadline)
+
+            def expire(_event):
+                if orig_index in first_done or orig_index in outcomes:
+                    return
+                watchdog.timeouts_fired += 1
+                error = watchdog.classify(
+                    ssd_ids=(ssd_index,),
+                    fault_injector=injector,
+                    deadline=deadline,
+                    description=f"spdk ssd {ssd_index} lba {local_lba}",
+                )
+                if tracer.enabled:
+                    tracer.instant(
+                        "watchdog_timeout",
+                        parent=parent_span,
+                        deadline=deadline,
+                        offline=isinstance(error, DeviceOfflineError),
+                    )
+                reliability.health.mark_offline(ssd_index)
+                first_done.add(orig_index)
+                settle(orig_index, error)
+
+            timer.callbacks.append(expire)
+
+        groups = {}  # ssd_index -> CompletionGroup
+        owners = {}  # command_id -> orig_index
+        submitted = 0
+        slot = reactor._serial.request()
+        granted = False
+        try:
+            try:
+                yield slot
+                granted = True
+            except ReactorOfflineError:
+                pass  # whole group re-drives below
+            if granted:
+                last = len(items) - 1
+                for pos, (orig_index, ssd_index, local_lba, payload) in (
+                    enumerate(items)
+                ):
+                    if reactor.crashed:
+                        break
+                    handle = handles[ssd_index]
+                    if handle.reactor is not reactor:
+                        # a failover re-homed this SSD between grouping
+                        # and submission: peel it off to the per-request
+                        # path instead of charging the wrong reactor
+                        env.process(
+                            redrive(orig_index, ssd_index, local_lba, payload)
+                        )
+                        submitted += 1
+                        continue
+                    span = None
+                    if tracing:
+                        span = tracer.begin(
+                            "submit",
+                            parent=parent_span,
+                            reactor=reactor.reactor_id,
+                        )
+                    yield Timeout(env, per_request_cpu)
+                    reactor.last_progress = env.now
+                    if tracing:
+                        cost = reactor.account_request(
+                            poll_iterations=poll_iterations
+                        )
+                        span.tags["ssd"] = ssd_index
+                        span.tags["is_write"] = is_write
+                        span.tags.update(cost)
+                        tracer.end(span)
+                    # Fan-out order inside this instant: the finishing
+                    # charge releases the reactor serial (granting the
+                    # next waiter) *before* the SQE goes on the wire and
+                    # the guard is armed, and the next request's CPU
+                    # timer is only created when that grant event pops.
+                    # Replay it: schedule the grant-analog hop first,
+                    # submit, then let the hop pop before the next item's
+                    # timer exists.  Retries run the real fan-out code,
+                    # so same-instant tie-breaks between first attempts
+                    # and retries resolve identically on both paths.
+                    hop = env.timeout(0.0) if pos != last else None
+                    sqe = SQE(
+                        opcode=opcode,
+                        lba=local_lba,
+                        num_blocks=num_blocks,
+                        payload=payload,
+                        target=target,
+                        target_offset=orig_index * granularity,
+                        trace_span=parent_span,
+                    )
+                    group = groups.get(ssd_index)
+                    if group is None:
+                        group = handle.dispatcher.open_group()
+                        group.sink = make_sink(ssd_index)
+                        groups[ssd_index] = group
+                    handle.dispatcher.expect(group, sqe.command_id)
+                    owners[sqe.command_id] = orig_index
+                    # through the SQ ring (not submit_direct): retries
+                    # share these rings, and the device-side hop
+                    # structure must match theirs for tie-break parity
+                    yield handle.queue_pair.submit(sqe)
+                    if watchdog is not None:
+                        arm_watchdog(orig_index, ssd_index, local_lba)
+                    submitted += 1
+                    if hop is not None:
+                        yield hop
+        finally:
+            if granted:
+                reactor._serial.release(slot)
+            elif not slot.triggered:
+                slot.cancel()
+        # reactor accounting covers only wire-submitted items (len(owners));
+        # peeled/leftover items charge their own reactor inside _attempt
+        reactor.requests.add(len(owners))
+        if not tracing and len(owners):
+            reactor.account_batch(
+                len(owners), poll_iterations=poll_iterations
+            )
+        for ssd_index, group in groups.items():
+            handles[ssd_index].dispatcher.seal(group)
+        # unsubmitted leftovers ride the full per-request reliable path
+        # (charge waits out a failover, every attempt gets its own guard)
+        for orig_index, ssd_index, local_lba, payload in items[submitted:]:
+            env.process(
+                redrive(orig_index, ssd_index, local_lba, payload)
+            )
+        if state["remaining"]:
+            yield all_done
+        results = sorted(outcomes.items())
+        completed = sum(
+            1 for _, outcome in results
+            if not isinstance(outcome, DeviceError)
+        )
+        self.requests_done.add(completed)
+        self.bytes_done.add(completed * granularity)
         return results
 
     def _poll_iterations(self, is_write: bool) -> float:

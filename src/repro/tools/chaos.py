@@ -1,0 +1,74 @@
+"""Chaos-campaign runner with a machine-readable invariant report.
+
+Runs the :func:`~repro.experiments.extras.run_chaos` fault scenarios —
+media faults, offline devices, reactor stalls/crashes, mirrored-device
+failover and admission-control overload — and writes a JSON report of
+every scenario row plus the folded invariant verdicts.  Exits non-zero
+if any invariant failed, so CI can surface regressions without parsing
+tables::
+
+    python -m repro.tools.chaos --output BENCH_chaos.json --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _table_as_dicts(table):
+    columns = list(table.columns)
+    return [
+        {column: value for column, value in zip(columns, row)}
+        for row in table.rows
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the chaos campaign and report invariants"
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scenario sizes (the CI configuration)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.extras import run_chaos
+
+    result = run_chaos(quick=args.quick)
+    scenarios = []
+    for table in result.tables:
+        scenarios.extend(_table_as_dicts(table))
+    failed = [
+        row["scenario"] for row in scenarios if not row["invariants_ok"]
+    ]
+    report = {
+        "experiment": result.exp_id,
+        "title": result.title,
+        "quick": args.quick,
+        "scenarios": scenarios,
+        "notes": result.notes,
+        "invariants_passed": not failed,
+        "failed_scenarios": failed,
+    }
+    for table in result.tables:
+        print(table.render())
+        print()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, default=str)
+        print(f"report written to {args.output}")
+    if failed:
+        print(f"INVARIANT FAILURES: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all chaos invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

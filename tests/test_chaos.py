@@ -1,0 +1,37 @@
+"""The chaos campaign holds its invariants in quick (CI) mode.
+
+Every scenario — media faults, an offline device, reactor stalls and
+crashes, mirrored-device failover, admission overload — must satisfy:
+every offered request terminates exactly once (completed, typed error,
+or shed), no duplicate completions, no hang, and the mirrored crash
+scenario keeps a goodput floor.  The folding lives in
+:func:`repro.experiments.extras.run_chaos`; this test keeps it honest
+in tier-1, and the CI chaos job publishes the same rows as an artifact.
+"""
+
+from repro.experiments.extras import run_chaos
+
+
+def test_chaos_quick_invariants_hold():
+    result = run_chaos(quick=True)
+    assert result.tables, "chaos campaign produced no tables"
+    seen = set()
+    for table in result.tables:
+        scenarios = table.column("scenario")
+        seen.update(scenarios)
+        verdicts = table.column("invariants_ok")
+        failed = [
+            scenario for scenario, ok in zip(scenarios, verdicts)
+            if not ok
+        ]
+        assert not failed, f"chaos invariants failed: {failed}"
+    assert {
+        "baseline",
+        "media_faults",
+        "device_offline",
+        "reactor_stall",
+        "reactor_crash",
+        "overload_4x",
+        "mirrored_baseline",
+        "mirrored_reactor_crash",
+    } <= seen

@@ -22,6 +22,7 @@ def test_extras_registry():
         "paper_scale_gnn",
         "ssd_character",
         "reliability",
+        "chaos",
     }
 
 
