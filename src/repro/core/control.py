@@ -112,6 +112,15 @@ class CamManager:
         self.batch_io_time = LatencyStat()
         #: io time of the most recent batch (fed to the autotuner)
         self.last_io_time = 0.0
+        #: window baseline for :meth:`reactor_busy_fractions` —
+        #: (sim time, {reactor_id: busy_seconds}) at the last call
+        self._busy_mark = (
+            self.env.now,
+            {
+                reactor.reactor_id: reactor.busy_seconds
+                for reactor in self.driver.pool.reactors
+            },
+        )
 
     # -- core adjustment ----------------------------------------------------
     @property
@@ -194,6 +203,15 @@ class CamManager:
         self.batches_done.add()
         self.requests_done.add(batch.request_count)
         self.bytes_done.add(batch.total_bytes)
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.batch_done(
+                "write" if batch.is_write else "read",
+                io_time,
+                batch.request_count,
+                batch.total_bytes,
+                len(failures),
+            )
         tracer = self.env.tracer
         if tracer.enabled:
             tracer.instant(
@@ -451,3 +469,31 @@ class CamManager:
     def achieved_throughput(self) -> float:
         """Bytes/second over the observation window."""
         return self.bytes_done.rate()
+
+    def reactor_busy_fractions(self) -> dict:
+        """Per-reactor busy fraction since the previous call.
+
+        Returns ``{reactor_id: fraction}`` over the window ending now and
+        starting at the last call (or construction).  This is the
+        compute/IO-ratio signal the paper's dynamic core adjustment rule
+        consumes — a window of near-1.0 fractions on every active reactor
+        means the manager is CPU-bound and wants more cores; near-0.0
+        means cores can be released.  Derived purely from
+        :attr:`Reactor.busy_seconds` deltas, so calling it never touches
+        the event heap.  A zero-length window reports 0.0 everywhere.
+        """
+        now = self.env.now
+        last_time, last_busy = self._busy_mark
+        window = now - last_time
+        fractions = {}
+        marks = {}
+        for reactor in self.driver.pool.reactors:
+            rid = reactor.reactor_id
+            busy = reactor.busy_seconds
+            marks[rid] = busy
+            delta = busy - last_busy.get(rid, 0.0)
+            fractions[rid] = (
+                min(1.0, delta / window) if window > 0 else 0.0
+            )
+        self._busy_mark = (now, marks)
+        return fractions

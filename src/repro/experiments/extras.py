@@ -17,6 +17,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.config import PlatformConfig
@@ -673,13 +675,18 @@ def _chaos_batches(
     per_batch: int = 32,
     num_ssds: int = 4,
     num_cores: int = 2,
+    flight_dir=None,
+    scenario: str = "chaos",
 ):
     """One chaos scenario on the coalesced reliable batch path.
 
     Drives ``workers`` concurrent GPU-side submitters, each ringing
     ``batches`` batches of ``per_batch`` 4 KiB reads through the CAM
     manager, while the requested faults play out.  Returns the raw
-    counters the invariant checks run against.
+    counters the invariant checks run against, a ``"metrics"``
+    registry snapshot, and a ``"_dump"`` closure that writes a
+    flight-recorder bundle under ``flight_dir`` (no-op returning None
+    when ``flight_dir`` is unset).
 
     ``offline`` is ``(ssd_id, at)`` — drop a device off the bus mid-run.
     ``reactor_stall`` / ``reactor_crash`` plant injector reactor faults
@@ -691,6 +698,12 @@ def _chaos_batches(
     from repro.core.control import BatchRequest
     from repro.errors import DeviceError, OverloadError
     from repro.hw.faults import FaultInjector
+    from repro.obs import (
+        FlightRecorder,
+        install_metrics,
+        install_sampler,
+        install_tracer,
+    )
     from repro.reliability import AdmissionController, Reliability
 
     injector = FaultInjector(error_rate=error_rate, seed=11)
@@ -718,6 +731,11 @@ def _chaos_batches(
         supervise_reactors=supervise,
     )
     manager = context.manager
+    # telemetry is a pure observer: the tracer records, the sampler only
+    # adds timer events, neither changes what the scenario computes
+    tracer = install_tracer(env)
+    metrics = install_metrics(env)
+    sampler = install_sampler(metrics, manager=manager, interval=20e-6)
     granularity = 4 * KiB
     blocks = granularity // platform.config.ssd.block_size
     platform.stripe_blocks = blocks
@@ -764,7 +782,20 @@ def _chaos_batches(
     elapsed = env.now - start
     if manager.supervisor is not None:
         manager.supervisor.stop()
+    sampler.stop()
+    sampler.sample_now()
     driver = manager.driver
+
+    def dump_bundle(reason: str, detail=None):
+        if flight_dir is None:
+            return None
+        recorder = FlightRecorder(
+            env, Path(flight_dir) / scenario,
+            tracer=tracer, sampler=sampler, metrics=metrics,
+            health=reliability.health, admission=admission,
+        )
+        return recorder.dump(reason, detail=detail)
+
     return {
         "offered": workers * batches * per_batch,
         "submitted": stats["submitted"],
@@ -782,16 +813,26 @@ def _chaos_batches(
         "partition_ok": all(
             not handle.reactor.crashed for handle in driver._handles
         ),
+        "metrics": metrics.registry.snapshot(),
+        "_dump": dump_bundle,
     }
 
 
-def _chaos_mirrored(requests: int, crash_at=None):
+def _chaos_mirrored(requests: int, crash_at=None, flight_dir=None,
+                    scenario: str = "mirrored"):
     """Closed-loop 4 KiB reads over mirrored devices, optional reactor
     crash (supervised) at ``crash_at``.  Returns (goodput, app_errors,
-    duplicates, partition_ok)."""
+    duplicates, partition_ok, telemetry) where telemetry carries the
+    metrics snapshot and a flight-bundle ``"_dump"`` closure."""
     from repro.backends import ReplicatedBackend, make_backend
     from repro.errors import DeviceError
     from repro.hw.faults import FaultInjector
+    from repro.obs import (
+        FlightRecorder,
+        install_metrics,
+        install_sampler,
+        install_tracer,
+    )
     from repro.reliability import Reliability
 
     injector = FaultInjector(seed=11)
@@ -809,6 +850,11 @@ def _chaos_mirrored(requests: int, crash_at=None):
     supervisor = driver.supervise(check_interval=1e-4)
     backend = ReplicatedBackend(inner)
     env = platform.env
+    tracer = install_tracer(env)
+    metrics = install_metrics(env)
+    sampler = install_sampler(
+        metrics, driver=driver, reliability=reliability, interval=20e-6
+    )
     granularity = 4 * KiB
     blocks = granularity // platform.config.ssd.block_size
     platform.stripe_blocks = blocks
@@ -832,15 +878,32 @@ def _chaos_mirrored(requests: int, crash_at=None):
     env.run(env.all_of(procs))
     elapsed = env.now - start
     supervisor.stop()
+    sampler.stop()
+    sampler.sample_now()
     goodput = shared["ok"] * granularity / elapsed if elapsed else 0.0
     partition_ok = all(
         not handle.reactor.crashed for handle in driver._handles
     )
+
+    def dump_bundle(reason: str, detail=None):
+        if flight_dir is None:
+            return None
+        recorder = FlightRecorder(
+            env, Path(flight_dir) / scenario,
+            tracer=tracer, sampler=sampler, metrics=metrics,
+            health=reliability.health,
+        )
+        return recorder.dump(reason, detail=detail)
+
+    telemetry = {
+        "metrics": metrics.registry.snapshot(),
+        "_dump": dump_bundle,
+    }
     return goodput, shared["errors"], driver.duplicate_completions, \
-        partition_ok
+        partition_ok, telemetry
 
 
-def run_chaos(quick: bool = True) -> ExperimentResult:
+def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
     """Chaos campaign: fault scenarios on the reliable coalesced path.
 
     Every scenario asserts the robustness invariants of ISSUE 4: each
@@ -849,6 +912,12 @@ def run_chaos(quick: bool = True) -> ExperimentResult:
     the hang check), SSD->reactor assignment stays a partition over
     alive reactors after failover, and goodput keeps a floor under a
     single-reactor crash with mirrored devices.
+
+    Each scenario's final metrics snapshot lands in
+    ``result.scenario_details[name]["metrics"]``; when ``flight_dir``
+    is given, every *failed* scenario additionally dumps a
+    flight-recorder bundle and records its path under
+    ``"flight_bundle"`` (None for passing scenarios).
     """
     result = ExperimentResult(
         exp_id="chaos",
@@ -916,12 +985,24 @@ def run_chaos(quick: bool = True) -> ExperimentResult:
             lambda o: o["shed"] > 0 and o["p99"] < 50e-3,
         ),
     ]
+    details = result.scenario_details
     for name, kwargs, extra_check in scenarios:
         kwargs.setdefault("workers", workers)
         kwargs.setdefault("batches", batches)
         kwargs.setdefault("per_batch", per_batch)
-        out = _chaos_batches(**kwargs)
+        out = _chaos_batches(
+            **kwargs, flight_dir=flight_dir, scenario=name
+        )
         ok = check_common(out) and extra_check(out)
+        bundle = None
+        if not ok:
+            bundle = out["_dump"](
+                f"chaos:{name}", detail="invariant check failed"
+            )
+        details[name] = {
+            "metrics": out["metrics"],
+            "flight_bundle": str(bundle) if bundle is not None else None,
+        }
         table.add_row(
             name, out["offered"], out["submitted"], out["terminated"],
             out["app_errors"], out["shed"], out["retries"],
@@ -938,20 +1019,51 @@ def run_chaos(quick: bool = True) -> ExperimentResult:
              "invariants_ok"],
         )
     )
-    base_goodput, base_errors, base_dups, base_part = _chaos_mirrored(
-        requests
+    base_goodput, base_errors, base_dups, base_part, base_tele = (
+        _chaos_mirrored(
+            requests, flight_dir=flight_dir,
+            scenario="mirrored_baseline",
+        )
     )
+    base_ok = base_errors == 0 and base_dups == 0 and base_part
+    base_bundle = None
+    if not base_ok:
+        base_bundle = base_tele["_dump"](
+            "chaos:mirrored_baseline", detail="invariant check failed"
+        )
+    details["mirrored_baseline"] = {
+        "metrics": base_tele["metrics"],
+        "flight_bundle": (
+            str(base_bundle) if base_bundle is not None else None
+        ),
+    }
     mirror.add_row(
         "mirrored_baseline", to_gb_per_s(base_goodput), base_errors,
-        base_dups, base_errors == 0 and base_dups == 0 and base_part,
+        base_dups, base_ok,
     )
-    goodput, errors, dups, partition_ok = _chaos_mirrored(
-        requests, crash_at=0.3e-3
+    goodput, errors, dups, partition_ok, crash_tele = _chaos_mirrored(
+        requests, crash_at=0.3e-3, flight_dir=flight_dir,
+        scenario="mirrored_reactor_crash",
     )
     floor = 0.4 * base_goodput
+    crash_ok = (
+        errors == 0 and dups == 0 and partition_ok and goodput >= floor
+    )
+    crash_bundle = None
+    if not crash_ok:
+        crash_bundle = crash_tele["_dump"](
+            "chaos:mirrored_reactor_crash",
+            detail="invariant check failed",
+        )
+    details["mirrored_reactor_crash"] = {
+        "metrics": crash_tele["metrics"],
+        "flight_bundle": (
+            str(crash_bundle) if crash_bundle is not None else None
+        ),
+    }
     mirror.add_row(
         "mirrored_reactor_crash", to_gb_per_s(goodput), errors, dups,
-        errors == 0 and dups == 0 and partition_ok and goodput >= floor,
+        crash_ok,
     )
     result.note(
         "invariants_ok folds: submitted==terminated (every admitted "

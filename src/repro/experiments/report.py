@@ -84,6 +84,9 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     #: the paper's qualitative expectation, for EXPERIMENTS.md
     paper_expectation: str = ""
+    #: per-scenario extras (metrics snapshots, flight-bundle paths)
+    #: keyed by scenario name; empty for experiments without telemetry
+    scenario_details: dict = field(default_factory=dict)
 
     def table(self, title: str) -> Table:
         for tab in self.tables:

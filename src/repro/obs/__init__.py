@@ -21,6 +21,24 @@ from repro.obs.export import (
     load_trace_csv,
     to_trace_events,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    Metrics,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    default_latency_buckets,
+    install_metrics,
+    uninstall_metrics,
+)
+from repro.obs.metrics_export import (
+    export_metrics_json,
+    export_openmetrics,
+    parse_openmetrics_text,
+    to_openmetrics_text,
+)
+from repro.obs.sampler import MetricsSampler, install_sampler
+from repro.obs.slo import SloMonitor, SloObjective, SloViolation
 from repro.obs.tracer import (
     DEFAULT_CAPACITY,
     NULL_TRACER,
@@ -34,16 +52,33 @@ from repro.obs.tracer import (
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "Metrics",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "NULL_METRICS",
     "NULL_TRACER",
+    "NullMetrics",
     "NullTracer",
     "SPAN_KINDS",
+    "SloMonitor",
+    "SloObjective",
+    "SloViolation",
     "Span",
     "TraceAnalyzer",
     "Tracer",
+    "default_latency_buckets",
+    "export_metrics_json",
+    "export_openmetrics",
     "export_perfetto_json",
     "export_trace_csv",
+    "install_metrics",
+    "install_sampler",
     "install_tracer",
     "load_trace_csv",
+    "parse_openmetrics_text",
+    "to_openmetrics_text",
     "to_trace_events",
+    "uninstall_metrics",
     "uninstall_tracer",
 ]

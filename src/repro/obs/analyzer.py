@@ -32,7 +32,29 @@ class TraceAnalyzer:
         else:
             spans = source
         self.spans: List[Span] = [s for s in spans if s.closed]
+        #: spans the source tracer evicted from its ring buffer; nonzero
+        #: means every aggregate below undercounts (partial trace)
+        self.dropped_spans: int = int(
+            getattr(source, "dropped_spans", 0) or 0
+        )
         self._children: Optional[Dict[Optional[int], List[Span]]] = None
+
+    @property
+    def complete(self) -> bool:
+        """False when ring-buffer eviction lost spans before analysis."""
+        return self.dropped_spans == 0
+
+    def summary(self) -> Dict[str, object]:
+        """One-look trace health + headline aggregates."""
+        t0, t1 = self.window()
+        return {
+            "spans": len(self.spans),
+            "dropped_spans": self.dropped_spans,
+            "complete": self.complete,
+            "window_seconds": t1 - t0,
+            "seconds_by_name": self.seconds_by_name(),
+            "count_by_name": self.count_by_name(),
+        }
 
     # -- indexing -------------------------------------------------------
     def _child_index(self) -> Dict[Optional[int], List[Span]]:

@@ -88,9 +88,21 @@ def to_trace_events(source) -> List[Dict[str, object]]:
 
 
 def export_perfetto_json(source, path) -> int:
-    """Write a Perfetto-loadable JSON trace; returns the event count."""
+    """Write a Perfetto-loadable JSON trace; returns the event count.
+
+    ``otherData`` records the source tracer's ring-buffer eviction count
+    so a partial trace is flagged inside the artifact itself.
+    """
     events = to_trace_events(source)
-    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    dropped = int(getattr(source, "dropped_spans", 0) or 0)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "dropped_spans": dropped,
+            "complete": dropped == 0,
+        },
+    }
     Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
     return len(events)
 

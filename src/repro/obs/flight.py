@@ -1,0 +1,174 @@
+"""Flight recorder: debug bundles dumped at the moment things go wrong.
+
+A :class:`FlightRecorder` holds references to the live observability
+surfaces — tracer, sampler, metrics registry, health tracker, admission
+controller — and on demand (an SLO violation, a chaos-invariant
+failure, an operator request) writes a *bundle* directory containing:
+
+* ``manifest.json`` — reason, sim time, span/drop counts, bundle index;
+* ``spans.csv`` — the last-N completed spans, in the same flat format
+  :func:`~repro.obs.export.export_trace_csv` writes (so
+  :func:`~repro.obs.export.load_trace_csv` re-imports it);
+* ``metrics.json`` — the full registry snapshot plus the tail of the
+  sampler's time series;
+* ``health.json`` — device health states, breaker counters and the
+  admission controller's in-flight occupancy.
+
+Dumping does real filesystem work in *wall* time but zero *simulated*
+work — it reads live state and writes files, creating no events — so a
+recorder armed via :meth:`attach` does not change what the simulation
+computes (only what gets persisted about it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.export import export_trace_csv
+from repro.obs.metrics_export import export_metrics_json
+
+
+class FlightRecorder:
+    """Dump debug bundles from live observability state.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment (for ``now`` stamps).
+    out_dir:
+        Directory receiving ``bundle-NNN-<slug>`` subdirectories
+        (created on first dump).
+    tracer / sampler / metrics / health / admission:
+        Whichever surfaces exist; absent ones are simply omitted from
+        the bundle.
+    last_spans:
+        How many of the most recent completed spans go into
+        ``spans.csv``.
+    history_tail:
+        How many trailing sampler samples go into ``metrics.json``.
+    max_bundles:
+        Dumps beyond this count are dropped (counted in
+        :attr:`suppressed`) so a flapping SLO cannot fill the disk.
+    """
+
+    def __init__(
+        self,
+        env,
+        out_dir,
+        tracer=None,
+        sampler=None,
+        metrics=None,
+        health=None,
+        admission=None,
+        last_spans: int = 512,
+        history_tail: int = 256,
+        max_bundles: int = 8,
+    ):
+        if last_spans < 1 or history_tail < 1 or max_bundles < 1:
+            raise ConfigurationError(
+                "last_spans, history_tail and max_bundles must be >= 1"
+            )
+        self.env = env
+        self.out_dir = Path(out_dir)
+        self.tracer = tracer
+        self.sampler = sampler
+        self.metrics = metrics
+        self.health = health
+        self.admission = admission
+        self.last_spans = last_spans
+        self.history_tail = history_tail
+        self.max_bundles = max_bundles
+        #: paths of the bundles written, in dump order
+        self.bundles: List[Path] = []
+        #: dumps dropped because ``max_bundles`` was reached
+        self.suppressed = 0
+
+    # -- wiring ---------------------------------------------------------
+    def attach(self, monitor) -> "FlightRecorder":
+        """Hook an :class:`~repro.obs.slo.SloMonitor`: every violation
+        dumps one bundle (chaining any previously-set callback)."""
+        previous = monitor.on_violation
+
+        def hook(violation):
+            if previous is not None:
+                previous(violation)
+            self.dump(
+                f"slo:{violation.objective}",
+                detail=violation.describe(),
+            )
+
+        monitor.on_violation = hook
+        return self
+
+    # -- dumping --------------------------------------------------------
+    def _slug(self, reason: str) -> str:
+        keep = [
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+        ]
+        slug = "".join(keep).strip("-")[:48]
+        return slug or "dump"
+
+    def dump(self, reason: str, detail: Optional[str] = None) -> (
+        Optional[Path]
+    ):
+        """Write one bundle; returns its path (None when suppressed)."""
+        if len(self.bundles) >= self.max_bundles:
+            self.suppressed += 1
+            return None
+        seq = len(self.bundles)
+        bundle = self.out_dir / f"bundle-{seq:03d}-{self._slug(reason)}"
+        bundle.mkdir(parents=True, exist_ok=True)
+
+        manifest = {
+            "reason": reason,
+            "detail": detail,
+            "sim_time": self.env.now,
+            "sequence": seq,
+        }
+
+        if self.tracer is not None and self.tracer.enabled:
+            spans = list(self.tracer.spans())[-self.last_spans :]
+            export_trace_csv(spans, bundle / "spans.csv")
+            manifest["spans"] = len(spans)
+            manifest["dropped_spans"] = self.tracer.dropped_spans
+
+        if self.metrics is not None and self.metrics.enabled:
+            payload = export_metrics_json(self.metrics.registry)
+            if self.sampler is not None:
+                payload["history"] = [
+                    {"time": t, "snapshot": snapshot}
+                    for t, snapshot in list(self.sampler.history)[
+                        -self.history_tail :
+                    ]
+                ]
+                manifest["samples"] = self.sampler.samples_taken
+            (bundle / "metrics.json").write_text(
+                json.dumps(payload, indent=1, default=str) + "\n"
+            )
+
+        state = {}
+        if self.health is not None:
+            state["health"] = self.health.snapshot()
+            state["breaker_trips"] = self.health.breaker_trips.total
+            state["breaker_resets"] = self.health.breaker_resets.total
+        if self.admission is not None:
+            state["admission"] = self.admission.snapshot()
+        if state:
+            (bundle / "health.json").write_text(
+                json.dumps(state, indent=1, default=str) + "\n"
+            )
+
+        (bundle / "manifest.json").write_text(
+            json.dumps(manifest, indent=1) + "\n"
+        )
+        self.bundles.append(bundle)
+        return bundle
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlightRecorder {len(self.bundles)} bundles -> "
+            f"{self.out_dir}>"
+        )

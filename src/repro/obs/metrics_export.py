@@ -1,0 +1,247 @@
+"""Metric exporters: Prometheus/OpenMetrics text and JSON snapshots.
+
+:func:`to_openmetrics_text` renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in the OpenMetrics text
+exposition format (`# TYPE`/`# HELP`/`# UNIT` headers, ``_total``
+counter suffix, ``_bucket{le=...}``/``_sum``/``_count`` histogram
+series, terminated by ``# EOF``), so any Prometheus-ecosystem tool can
+ingest a finished run.  :func:`parse_openmetrics_text` is the matching
+reader the test suite round-trips through — every sample line a
+registry writes must come back with the same name, labels and value.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: Dict[str, str], extra: Tuple = ()) -> str:
+    pairs = list(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_openmetrics_text(registry: MetricsRegistry) -> str:
+    """Render every family in OpenMetrics text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        name = family.name
+        lines.append(f"# TYPE {name} {family.kind}")
+        if family.unit:
+            lines.append(f"# UNIT {name} {family.unit}")
+        if family.help:
+            lines.append(f"# HELP {name} {_escape(family.help)}")
+        # counters expose a _total sample name; don't double-suffix
+        # families whose registered name already carries it
+        counter_name = (
+            name if name.endswith("_total") else f"{name}_total"
+        )
+        for labels, instrument in family.series():
+            if family.kind == "counter":
+                lines.append(
+                    f"{counter_name}{_labels_text(labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+            elif family.kind == "gauge":
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+            else:  # histogram
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.bounds, instrument.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, (('le', repr(bound)),))} "
+                        f"{cumulative}"
+                    )
+                cumulative += instrument.bucket_counts[-1]
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_text(labels, (('le', '+Inf'),))} "
+                    f"{cumulative}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_format_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} "
+                    f"{instrument.count}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def export_openmetrics(registry: MetricsRegistry, path) -> int:
+    """Write the text exposition; returns the number of sample lines."""
+    text = to_openmetrics_text(registry)
+    Path(path).write_text(text)
+    return sum(
+        1
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    )
+
+
+def export_metrics_json(registry: MetricsRegistry, path=None) -> dict:
+    """Structured snapshot: families with series, buckets and metadata.
+
+    Returns the payload; writes it to ``path`` when given.
+    """
+    families = []
+    for family in registry.families():
+        series = []
+        for labels, instrument in family.series():
+            if family.kind == "histogram":
+                series.append(
+                    {
+                        "labels": labels,
+                        "count": instrument.count,
+                        "sum": instrument.sum,
+                        "mean": instrument.mean,
+                        "p50": instrument.quantile(0.50),
+                        "p99": instrument.quantile(0.99),
+                        "buckets": [
+                            {"le": bound, "count": count}
+                            for bound, count in zip(
+                                instrument.bounds,
+                                instrument.bucket_counts,
+                            )
+                        ]
+                        + [
+                            {
+                                "le": "+Inf",
+                                "count": instrument.bucket_counts[-1],
+                            }
+                        ],
+                    }
+                )
+            else:
+                series.append(
+                    {"labels": labels, "value": instrument.value}
+                )
+        families.append(
+            {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "unit": family.unit,
+                "dropped_series": family.dropped_series,
+                "series": series,
+            }
+        )
+    payload = {"families": families}
+    if path is not None:
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+    return payload
+
+
+# -- the round-trip reader (test-suite contract) -----------------------
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        eq = text.index("=", index)
+        name = text[index:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {text[eq:]!r}")
+        value_chars: List[str] = []
+        j = eq + 2
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\":
+                nxt = text[j + 1]
+                value_chars.append(
+                    {"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt)
+                )
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        labels[name] = "".join(value_chars)
+        index = j + 1
+    return labels
+
+
+def parse_openmetrics_text(text: str) -> dict:
+    """Parse an exposition back into ``{"types": ..., "samples": ...}``.
+
+    ``types`` maps family name -> kind; ``samples`` maps
+    ``(sample_name, sorted_label_items)`` -> float value.  Raises
+    :class:`ValueError` on malformed lines or a missing ``# EOF``
+    terminator, so the round-trip test also checks well-formedness.
+    """
+    types: Dict[str, str] = {}
+    units: Dict[str, str] = {}
+    samples: Dict[Tuple[str, Tuple], float] = {}
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"content after # EOF: {line!r}")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ValueError(f"malformed comment line: {line!r}")
+            _, keyword, name = parts[:3]
+            if keyword == "TYPE":
+                types[name] = parts[3] if len(parts) > 3 else ""
+            elif keyword == "UNIT":
+                units[name] = parts[3] if len(parts) > 3 else ""
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            rest = line[line.index("{") :]
+            close = rest.rindex("}")
+            labels = _parse_labels(rest[1:close])
+            value_text = rest[close + 1 :].strip()
+        else:
+            name, value_text = line.split(None, 1)
+            labels = {}
+        value_text = value_text.split()[0]  # ignore optional timestamp
+        value = (
+            float("inf") if value_text == "+Inf" else float(value_text)
+        )
+        key = (name, tuple(sorted(labels.items())))
+        if key in samples:
+            raise ValueError(f"duplicate sample {key}")
+        samples[key] = value
+    if not saw_eof:
+        raise ValueError("exposition not terminated by # EOF")
+    return {"types": types, "units": units, "samples": samples}

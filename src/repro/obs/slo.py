@@ -1,0 +1,289 @@
+"""Declarative service-level objectives evaluated against live metrics.
+
+An :class:`SloObjective` names one statistic over one metric — "p99 of
+``cam_batch_latency_seconds{op=read}`` must stay below 5 ms", "the rate
+of ``cam_bytes_total{op=read}`` must stay above 10 GB/s", "the rate of
+``admission_shed_total`` must stay below 1000/s" — and the
+:class:`SloMonitor` checks every objective on each sampler tick (it
+registers itself as a :class:`~repro.obs.sampler.MetricsSampler`
+listener).  A breach produces a typed :class:`SloViolation`, an
+``slo_violation`` instant in the tracer, and a callback (the
+:class:`~repro.obs.flight.FlightRecorder` hooks in there to dump a
+debug bundle).
+
+Evaluation is pure reading — registry lookups and history arithmetic —
+so an armed monitor never perturbs simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Metrics
+
+#: supported statistics: histogram quantiles, point/window reads of a
+#: series, and per-second rates of a cumulative counter
+STATS = ("p50", "p90", "p99", "p999", "last", "mean", "max", "min", "rate")
+
+OPS = {
+    "<": lambda observed, bound: observed < bound,
+    "<=": lambda observed, bound: observed <= bound,
+    ">": lambda observed, bound: observed > bound,
+    ">=": lambda observed, bound: observed >= bound,
+}
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective: ``stat(metric{labels}) op threshold``.
+
+    ``window`` bounds how far back (sim-seconds) the history stats
+    (``mean``/``max``/``min``/``rate``) look; ``0`` means the whole
+    retained history.  Histogram quantiles always read the cumulative
+    histogram (fixed buckets carry the whole run).
+    """
+
+    name: str
+    metric: str
+    stat: str
+    op: str
+    threshold: float
+    labels: Tuple[Tuple[str, str], ...] = ()
+    window: float = 0.0
+
+    def __post_init__(self):
+        if self.stat not in STATS:
+            raise ConfigurationError(
+                f"objective {self.name!r}: unknown stat {self.stat!r} "
+                f"(one of {STATS})"
+            )
+        if self.op not in OPS:
+            raise ConfigurationError(
+                f"objective {self.name!r}: unknown op {self.op!r} "
+                f"(one of {tuple(OPS)})"
+            )
+        if self.window < 0:
+            raise ConfigurationError(
+                f"objective {self.name!r}: window must be >= 0"
+            )
+
+    @classmethod
+    def from_dict(cls, spec: Dict) -> "SloObjective":
+        """Build from the declarative dict form used in docs/configs::
+
+            {"name": "p99-read-batch", "metric": "cam_batch_latency_seconds",
+             "labels": {"op": "read"}, "stat": "p99", "op": "<=",
+             "threshold": 5e-3}
+        """
+        known = {"name", "metric", "stat", "op", "threshold", "labels",
+                 "window"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ConfigurationError(
+                f"objective spec has unknown keys {sorted(unknown)}"
+            )
+        labels = tuple(
+            sorted((str(k), str(v)) for k, v in
+                   dict(spec.get("labels", {})).items())
+        )
+        return cls(
+            name=spec["name"],
+            metric=spec["metric"],
+            stat=spec["stat"],
+            op=spec["op"],
+            threshold=float(spec["threshold"]),
+            labels=labels,
+            window=float(spec.get("window", 0.0)),
+        )
+
+    def series_key(self) -> str:
+        """The flattened snapshot key this objective reads
+        (:meth:`MetricsRegistry.snapshot` format)."""
+        if not self.labels:
+            return self.metric
+        body = ",".join(f"{k}={v}" for k, v in sorted(self.labels))
+        return f"{self.metric}{{{body}}}"
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One observed objective breach at one sampler tick."""
+
+    time: float
+    objective: str
+    metric: str
+    stat: str
+    op: str
+    observed: float
+    threshold: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.time * 1e3:.3f} ms] {self.objective}: "
+            f"{self.stat}({self.metric}) = {self.observed:.6g} "
+            f"violates {self.op} {self.threshold:.6g}"
+        )
+
+
+class SloMonitor:
+    """Evaluates objectives on every sampler tick.
+
+    Parameters
+    ----------
+    metrics:
+        The recording bundle (registry source for histogram quantiles).
+    sampler:
+        Optional :class:`~repro.obs.sampler.MetricsSampler`; when given
+        the monitor registers itself as a listener and evaluates live.
+        Without one, call :meth:`evaluate` manually.
+    objectives:
+        :class:`SloObjective` instances or declarative dicts.
+    tracer:
+        Defaults to ``metrics.env.tracer`` — breaches emit
+        ``slo_violation`` instants when tracing is enabled.
+    on_violation:
+        ``callback(violation)`` per breach (the flight recorder's hook).
+    cooldown:
+        Minimum sim-seconds between repeated firings of the *same*
+        objective, so a sustained breach does not fire every tick.
+    """
+
+    def __init__(
+        self,
+        metrics: Metrics,
+        sampler=None,
+        objectives=(),
+        tracer=None,
+        on_violation: Optional[Callable] = None,
+        cooldown: float = 0.0,
+    ):
+        if not metrics.enabled:
+            raise ConfigurationError(
+                "SloMonitor needs a recording Metrics bundle"
+            )
+        self.metrics = metrics
+        self.env = metrics.env
+        self.sampler = sampler
+        self.objectives: List[SloObjective] = [
+            obj if isinstance(obj, SloObjective)
+            else SloObjective.from_dict(obj)
+            for obj in objectives
+        ]
+        self.tracer = tracer
+        self.on_violation = on_violation
+        self.cooldown = cooldown
+        #: every breach observed, in evaluation order
+        self.violations: List[SloViolation] = []
+        self._last_fired: Dict[str, float] = {}
+        if sampler is not None:
+            sampler.listeners.append(self._on_sample)
+
+    # -- statistics -----------------------------------------------------
+    def _histogram_quantile(
+        self, objective: SloObjective
+    ) -> Optional[float]:
+        family = self.metrics.registry.get(objective.metric)
+        if family is None or family.kind != "histogram":
+            return None
+        labels = dict(objective.labels)
+        for series_labels, instrument in family.series():
+            if series_labels == labels and instrument.count:
+                q = {"p50": 0.5, "p90": 0.9, "p99": 0.99,
+                     "p999": 0.999}[objective.stat]
+                return instrument.quantile(q)
+        return None
+
+    def _history_stat(self, objective: SloObjective) -> Optional[float]:
+        if self.sampler is None:
+            return None
+        series = self.sampler.series(objective.series_key())
+        if not series:
+            return None
+        if objective.window > 0:
+            horizon = self.env.now - objective.window
+            series = [(t, v) for t, v in series if t >= horizon]
+            if not series:
+                return None
+        values = [float(v) for _, v in series]
+        if objective.stat == "last":
+            return values[-1]
+        if objective.stat == "mean":
+            return sum(values) / len(values)
+        if objective.stat == "max":
+            return max(values)
+        if objective.stat == "min":
+            return min(values)
+        # rate: counter delta over the window's time span
+        t0, v0 = series[0]
+        t1, v1 = series[-1]
+        if t1 <= t0:
+            return None
+        return (float(v1) - float(v0)) / (t1 - t0)
+
+    def _observe(self, objective: SloObjective) -> Optional[float]:
+        if objective.stat in ("p50", "p90", "p99", "p999"):
+            # prefer the cumulative histogram; fall back to the history
+            # series for snapshot keys like "...:p99"
+            value = self._histogram_quantile(objective)
+            if value is not None:
+                return value
+            return None
+        return self._history_stat(objective)
+
+    # -- evaluation -----------------------------------------------------
+    def _on_sample(self, time, snapshot) -> None:
+        self.evaluate()
+
+    def evaluate(self) -> List[SloViolation]:
+        """Check every objective now; returns the new violations."""
+        now = self.env.now
+        fresh: List[SloViolation] = []
+        for objective in self.objectives:
+            observed = self._observe(objective)
+            if observed is None:
+                continue  # metric not yet populated
+            if OPS[objective.op](observed, objective.threshold):
+                continue  # objective holds
+            last = self._last_fired.get(objective.name)
+            if (
+                last is not None
+                and self.cooldown > 0
+                and now - last < self.cooldown
+            ):
+                continue
+            self._last_fired[objective.name] = now
+            violation = SloViolation(
+                time=now,
+                objective=objective.name,
+                metric=objective.metric,
+                stat=objective.stat,
+                op=objective.op,
+                observed=observed,
+                threshold=objective.threshold,
+            )
+            fresh.append(violation)
+            self.violations.append(violation)
+            tracer = self.tracer or self.env.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.instant(
+                    "slo_violation",
+                    objective=objective.name,
+                    metric=objective.metric,
+                    stat=objective.stat,
+                    observed=observed,
+                    threshold=objective.threshold,
+                )
+            if self.on_violation is not None:
+                self.on_violation(violation)
+        return fresh
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"<SloMonitor {len(self.objectives)} objectives, "
+            f"{len(self.violations)} violations>"
+        )

@@ -49,6 +49,8 @@ SPAN_KINDS: Tuple[str, ...] = (
     "degraded_read",
     "rebuild",
     "rebuild_done",
+    # telemetry subsystem (repro.obs.slo)
+    "slo_violation",
 )
 
 #: default ring-buffer capacity (spans); enough for the quick experiment
@@ -106,6 +108,10 @@ class NullTracer:
 
     @property
     def span_count(self) -> int:
+        return 0
+
+    @property
+    def dropped_spans(self) -> int:
         return 0
 
     def begin(self, name: str, parent: Optional[Span] = None, **tags):
@@ -204,6 +210,16 @@ class Tracer:
     def span_count(self) -> int:
         """Completed spans currently retained."""
         return len(self._ring)
+
+    @property
+    def dropped_spans(self) -> int:
+        """Completed spans lost to ring-buffer eviction.
+
+        Nonzero means every trace-derived aggregate (utilization,
+        layer breakdowns, per-request costs) undercounts — analyses
+        surface this so a partial trace is never read as a full one.
+        """
+        return self.dropped
 
     def spans(self) -> Iterator[Span]:
         """Retained completed spans, oldest first (end order)."""

@@ -177,6 +177,7 @@ class KernelStack:
         target_offset: int = 0,
         ssd_index: Optional[int] = None,
     ) -> Generator:
+        start_time = self.env.now
         block_size = self.platform.config.ssd.block_size
         num_blocks = max(1, -(-nbytes // block_size))
         if ssd_index is None:
@@ -260,6 +261,9 @@ class KernelStack:
         self.accountant.complete_request()
         self.requests_done.add()
         self.bytes_done.add(nbytes)
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.stack_io_done(self.name, self.env.now - start_time)
         return cqe
 
     def _device_attempt(

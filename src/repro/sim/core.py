@@ -35,6 +35,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import ProcessInterrupt, SimulationError
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 #: Scheduling priorities.  URGENT events run before NORMAL events scheduled
@@ -374,6 +375,11 @@ class Environment:
         #: keeps the disabled path allocation-free — install a recording
         #: one with :func:`repro.obs.install_tracer`
         self.tracer = NULL_TRACER
+        #: live metrics bundle (see :mod:`repro.obs.metrics`); the
+        #: shared null bundle keeps the disabled path to one attribute
+        #: test — install a recording one with
+        #: :func:`repro.obs.install_metrics`
+        self.metrics = NULL_METRICS
 
     @property
     def now(self) -> float:

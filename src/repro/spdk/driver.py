@@ -130,6 +130,9 @@ class SpdkDriver:
                     reactor=reactor_id,
                     survivors=len(self.pool.alive_reactors()),
                 )
+            metrics = self.env.metrics
+            if metrics.enabled:
+                metrics.failover(reactor_id)
         reactor.crash()
 
     def revive_reactor(self, reactor_id: int) -> None:
@@ -429,6 +432,7 @@ class SpdkDriver:
                             reactor=reactor.reactor_id,
                         )
                     yield Timeout(env, per_request_cpu)
+                    reactor.busy_seconds += per_request_cpu
                     if tracing:
                         # per-request spans keep the fig03/fig13
                         # breakdowns intact; the bulk accounting below
@@ -471,6 +475,9 @@ class SpdkDriver:
             reactor.account_batch(
                 submitted, poll_iterations=poll_iterations
             )
+        metrics = env.metrics
+        if metrics.enabled and submitted:
+            metrics.coalesced_group(reactor.reactor_id, submitted)
 
         results = []
         for ssd_index, group in groups.items():
@@ -574,9 +581,13 @@ class SpdkDriver:
                 )
             return attempt
 
+        metrics = env.metrics
+
         def redrive(orig_index, ssd_index, local_lba, payload):
             """Process: the full per-request reliable path for one item
             (used for items that never reached the wire)."""
+            if metrics.enabled:
+                metrics.redrive()
             try:
                 cqe = yield from reliability.run(
                     make_attempt(orig_index, ssd_index, local_lba, payload),
@@ -607,6 +618,8 @@ class SpdkDriver:
             in the event order where the fan-out path would create it,
             keeping same-instant tie-breaks on shared stages bit-identical.
             """
+            if metrics.enabled:
+                metrics.redrive()
             yield hop                # CQ-ring -> dispatcher wake
             yield env.timeout(0.0)   # per-command waiter event
             yield env.timeout(0.0)   # watchdog AnyOf condition
@@ -713,6 +726,7 @@ class SpdkDriver:
                             reactor=reactor.reactor_id,
                         )
                     yield Timeout(env, per_request_cpu)
+                    reactor.busy_seconds += per_request_cpu
                     reactor.last_progress = env.now
                     if tracing:
                         cost = reactor.account_request(
@@ -770,6 +784,8 @@ class SpdkDriver:
             reactor.account_batch(
                 len(owners), poll_iterations=poll_iterations
             )
+        if metrics.enabled and owners:
+            metrics.coalesced_group(reactor.reactor_id, len(owners))
         for ssd_index, group in groups.items():
             handles[ssd_index].dispatcher.seal(group)
         # unsubmitted leftovers ride the full per-request reliable path

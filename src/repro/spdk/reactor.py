@@ -35,6 +35,12 @@ class Reactor:
         self._serial = Resource(env, capacity=1)
         self.requests = Counter(env)
         self.accountant = CycleAccountant()
+        #: cumulative simulated seconds this core spent busy (charges,
+        #: coalesced per-item CPU, stalls) — pure float accounting, so
+        #: reading or windowing it never perturbs the event heap.  The
+        #: sampler and :meth:`CamManager.reactor_busy_fractions` derive
+        #: the paper's compute/IO-ratio signal from deltas of this.
+        self.busy_seconds = 0.0
         #: set by :meth:`crash` — a crashed reactor refuses new work and
         #: has failed every queued charge with ReactorOfflineError
         self.crashed = False
@@ -86,6 +92,7 @@ class Reactor:
                     "submit", parent=parent, reactor=self.reactor_id
                 )
             yield self.env.timeout(cost)
+            self.busy_seconds += cost
             if span is not None:
                 tracer.end(span)
             self.last_progress = self.env.now
@@ -117,6 +124,8 @@ class Reactor:
                 else None
             )
             yield self.env.timeout(duration)
+            # a wedged poller still occupies its core: stalls count as busy
+            self.busy_seconds += duration
             if span is not None:
                 tracer.end(span, duration=duration)
         finally:

@@ -36,14 +36,25 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="small scenario sizes (the CI configuration)",
     )
+    parser.add_argument(
+        "--flight-dir", default=None,
+        help="dump a flight-recorder bundle here for every failed "
+             "scenario (bundle path lands in the JSON report)",
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments.extras import run_chaos
 
-    result = run_chaos(quick=args.quick)
+    result = run_chaos(quick=args.quick, flight_dir=args.flight_dir)
     scenarios = []
     for table in result.tables:
         scenarios.extend(_table_as_dicts(table))
+    # fold the telemetry in: every scenario carries its final metrics
+    # snapshot, failed ones additionally point at their debug bundle
+    for row in scenarios:
+        detail = result.scenario_details.get(row["scenario"], {})
+        row["metrics"] = detail.get("metrics", {})
+        row["flight_bundle"] = detail.get("flight_bundle")
     failed = [
         row["scenario"] for row in scenarios if not row["invariants_ok"]
     ]
@@ -51,6 +62,7 @@ def main(argv=None) -> int:
         "experiment": result.exp_id,
         "title": result.title,
         "quick": args.quick,
+        "flight_dir": args.flight_dir,
         "scenarios": scenarios,
         "notes": result.notes,
         "invariants_passed": not failed,

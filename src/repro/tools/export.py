@@ -15,6 +15,13 @@ Span-trace exporters (see ``docs/OBSERVABILITY.md``) also live here:
 JSON, :func:`export_trace_csv`/:func:`load_trace_csv` round-trip the
 flat span table.  ``python -m repro.tools.trace_demo`` exercises both on
 a small traced run.
+
+Metric exporters ride along too: :func:`export_openmetrics` /
+:func:`to_openmetrics_text` render a live
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus/
+OpenMetrics text exposition format, :func:`export_metrics_json` writes
+the structured snapshot, and :func:`parse_openmetrics_text` reads an
+exposition back (the round-trip contract the test suite enforces).
 """
 
 from __future__ import annotations
@@ -31,6 +38,12 @@ from repro.obs.export import (  # noqa: F401  (re-exported trace exporters)
     export_trace_csv,
     load_trace_csv,
     to_trace_events,
+)
+from repro.obs.metrics_export import (  # noqa: F401  (metric exporters)
+    export_metrics_json,
+    export_openmetrics,
+    parse_openmetrics_text,
+    to_openmetrics_text,
 )
 
 

@@ -94,11 +94,18 @@ def run_demo(out_dir: Path, requests: int = 48, seed: int = 7) -> dict:
         summary[label] = {
             "events": events,
             "spans": spans,
-            "dropped": tracer.dropped,
+            "dropped": tracer.dropped_spans,
             "seconds_by_name": live.seconds_by_name(),
         }
         print(f"{label}: {spans} spans -> {json_path.name} "
               f"({events} events), {csv_path.name}")
+        if tracer.dropped_spans:
+            print(
+                f"  WARNING: {tracer.dropped_spans} spans evicted from "
+                f"the ring buffer — totals below undercount; raise the "
+                f"tracer capacity for a complete trace",
+                file=sys.stderr,
+            )
         for name, seconds in sorted(live.seconds_by_name().items()):
             print(f"  {name:<18} {seconds * 1e6:10.2f} us total")
     cam = TraceAnalyzer(cam_tracer)

@@ -77,10 +77,13 @@ def test_perfetto_json_loads_and_validates(cam_trace, tmp_path):
     path = tmp_path / "trace.json"
     count = export_perfetto_json(cam_trace, path)
     payload = json.loads(path.read_text())
-    assert set(payload) == {"traceEvents", "displayTimeUnit"}
+    assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
     assert len(payload["traceEvents"]) == count
     for event in payload["traceEvents"]:
         assert REQUIRED_KEYS <= set(event)
+    # ring-buffer eviction state is flagged inside the artifact itself
+    assert payload["otherData"]["dropped_spans"] == 0
+    assert payload["otherData"]["complete"] is True
 
 
 def test_csv_round_trips_through_analyzer(cam_trace, tmp_path):

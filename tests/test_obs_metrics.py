@@ -1,0 +1,214 @@
+"""Metrics registry core: counters, gauges, histograms, families.
+
+ISSUE 5 tentpole groundwork: typed instruments with a fixed log-spaced
+latency ladder, labeled families keyed by ``ssd_id``/``reactor_id``/
+``op``, a per-family cardinality cap, and the flat snapshot format the
+exporters and SLO monitor read.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Metrics,
+    MetricsRegistry,
+    NULL_METRICS,
+    default_latency_buckets,
+    install_metrics,
+    uninstall_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    OVERFLOW_LABEL,
+)
+from repro.sim import Environment
+
+
+# -- instruments -----------------------------------------------------------
+
+def test_default_latency_buckets_are_log_spaced():
+    bounds = default_latency_buckets()
+    assert len(bounds) == 22
+    assert bounds[0] == 1e-6
+    for lo, hi in zip(bounds, bounds[1:]):
+        assert hi == pytest.approx(2 * lo)
+    with pytest.raises(ConfigurationError):
+        default_latency_buckets(start=0.0)
+    with pytest.raises(ConfigurationError):
+        default_latency_buckets(factor=1.0)
+
+
+def test_counter_is_monotonic():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+    counter.set_total(10.0)  # pull-style absolute update
+    assert counter.value == 10.0
+    with pytest.raises(ConfigurationError, match="backwards"):
+        counter.set_total(9.0)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(4)
+    gauge.add(-1.5)
+    assert gauge.value == 2.5
+
+
+def test_histogram_bucketing_and_top_bucket():
+    hist = Histogram((1.0, 2.0, 4.0))
+    hist.observe(0.5)     # first bucket
+    hist.observe(2.0)     # inclusive upper bound -> second bucket
+    hist.observe(3.0)     # third bucket
+    hist.observe(100.0)   # above the ladder -> +Inf bucket
+    assert hist.bucket_counts == [1, 1, 1, 1]
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(105.5)
+    assert hist.mean == pytest.approx(105.5 / 4)
+
+
+def test_histogram_quantile_saturates_at_top_bound():
+    hist = Histogram((1.0, 2.0, 4.0))
+    for _ in range(99):
+        hist.observe(1e9)  # everything lands in +Inf
+    # the estimate reports the top finite bound instead of inventing a
+    # value for the unbounded bucket
+    assert hist.quantile(0.5) == 4.0
+    assert hist.quantile(0.99) == 4.0
+    hist2 = Histogram((1.0, 2.0, 4.0))
+    assert hist2.quantile(0.99) == 0.0  # empty
+    hist2.observe(0.5)
+    assert hist2.quantile(1.0) == 1.0
+    with pytest.raises(ConfigurationError):
+        hist2.quantile(1.5)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ConfigurationError):
+        Histogram(())
+    with pytest.raises(ConfigurationError):
+        Histogram((1.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        Histogram((2.0, 1.0))
+
+
+# -- families and cardinality ----------------------------------------------
+
+def test_family_labels_are_stringified_and_arity_checked():
+    family = Family("reqs", "counter", labelnames=("ssd",))
+    family.labels(3).inc()
+    assert family.labels("3").value == 1.0  # int and str are one series
+    with pytest.raises(ConfigurationError):
+        family.labels()  # missing label value
+    with pytest.raises(ConfigurationError):
+        family.labels(1, 2)
+    with pytest.raises(ConfigurationError, match="use .labels"):
+        family.child()
+
+
+def test_family_validates_names():
+    with pytest.raises(ConfigurationError):
+        Family("bad name!", "counter")
+    with pytest.raises(ConfigurationError):
+        Family("ok", "counter", labelnames=("bad label",))
+    with pytest.raises(ConfigurationError):
+        Family("ok", "teapot")
+
+
+def test_cardinality_cap_collapses_to_overflow_series():
+    family = Family("hot", "counter", labelnames=("lba",), max_series=2)
+    family.labels(1).inc()
+    family.labels(2).inc()
+    # past the cap: new label sets share the single _overflow child
+    family.labels(3).inc()
+    family.labels(4).inc(2)
+    assert family.dropped_series == 2
+    overflow = family.labels(OVERFLOW_LABEL)
+    assert overflow.value == 3.0
+    # existing series keep working
+    family.labels(1).inc()
+    assert family.labels(1).value == 2.0
+    labelsets = [labels for labels, _ in family.series()]
+    assert {"lba": OVERFLOW_LABEL} in labelsets
+    assert len(labelsets) == 3  # 2 real + overflow
+
+
+# -- registry --------------------------------------------------------------
+
+def test_registry_rejects_duplicates_and_snapshots_flat():
+    registry = MetricsRegistry()
+    registry.counter("a_total", labels=("op",)).labels("read").inc(5)
+    registry.gauge("depth").child().set(7)
+    hist = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+    hist.child().observe(1.5)
+    with pytest.raises(ConfigurationError, match="already registered"):
+        registry.counter("a_total")
+    assert "depth" in registry
+    assert registry.get("missing") is None
+
+    snap = registry.snapshot()
+    assert snap["a_total{op=read}"] == 5.0
+    assert snap["depth"] == 7.0
+    assert snap["lat_seconds:count"] == 1
+    assert snap["lat_seconds:sum"] == 1.5
+    assert snap["lat_seconds:p99"] == 2.0
+
+
+# -- the env-installed facade ----------------------------------------------
+
+def test_null_metrics_is_disabled_and_inert():
+    assert NULL_METRICS.enabled is False
+    # every push helper is a no-op
+    NULL_METRICS.batch_done("read", 1e-3, 8, 4096, 0)
+    NULL_METRICS.coalesced_group(0, 8)
+    NULL_METRICS.redrive()
+    NULL_METRICS.failover(1)
+    NULL_METRICS.stack_io_done("posix", 1e-6)
+
+
+def test_environment_starts_with_null_metrics():
+    env = Environment()
+    assert env.metrics is NULL_METRICS
+
+
+def test_install_metrics_roundtrip_and_push_helpers():
+    env = Environment()
+    metrics = install_metrics(env)
+    assert env.metrics is metrics
+    assert metrics.enabled is True
+
+    metrics.batch_done("read", 2e-3, requests=16, nbytes=65536,
+                       failures=1)
+    metrics.coalesced_group(0, 8)
+    metrics.redrive(2)
+    metrics.failover(1)
+    metrics.stack_io_done("io_uring", 5e-6)
+
+    snap = metrics.registry.snapshot()
+    assert snap["cam_batches_total{op=read}"] == 1.0
+    assert snap["cam_requests_total{op=read}"] == 16.0
+    assert snap["cam_bytes_total{op=read}"] == 65536.0
+    assert snap["cam_batch_failures_total"] == 1.0
+    assert snap["cam_batch_latency_seconds{op=read}:count"] == 1
+    assert snap["spdk_coalesced_groups_total{reactor=0}"] == 1.0
+    assert snap["spdk_coalesced_requests_total{reactor=0}"] == 8.0
+    assert snap["spdk_redrives_total"] == 2.0
+    assert snap["reactor_failovers_total{reactor=1}"] == 1.0
+    assert snap["oskernel_requests_total{stack=io_uring}"] == 1.0
+
+    uninstall_metrics(env)
+    assert env.metrics is NULL_METRICS
+
+
+def test_install_metrics_accepts_shared_registry():
+    env = Environment()
+    registry = MetricsRegistry()
+    metrics = install_metrics(env, registry=registry)
+    assert metrics.registry is registry
+    assert isinstance(metrics, Metrics)
