@@ -23,6 +23,12 @@ Measures three layers and writes the results to ``BENCH_perf.json``:
   instrumented vs plain wall-clock, plus the proof obligation that the
   sampler does not perturb the simulation (identical ``sim_end``).  The
   overhead target is advisory (CI treats it as a soft failure).
+* **autotune_sweep** — written to ``BENCH_autotune.json``: the fig12
+  pipeline loop across compute/I-O mixes under the closed-loop
+  :class:`~repro.core.elastic.ElasticController` vs every static core
+  count in the paper band.  Hard gates: the controller's simulated
+  throughput must match or beat the best static allocation on every
+  mix, and every sampled core count must stay inside [N/4, N/2].
 
 Run from the repository root::
 
@@ -72,6 +78,14 @@ RELIABILITY_SPEEDUP_TARGET = 2.0
 #: instrumented / plain wall-clock ceiling for the telemetry stack
 #: (ISSUE 5).  Advisory: the CI telemetry job soft-fails past this.
 METRICS_OVERHEAD_TARGET = 1.05
+
+#: static core counts the autotune sweep races the controller against
+#: (the paper band endpoints for 12 SSDs, plus a midpoint)
+AUTOTUNE_STATIC_CORES = (3, 4, 6)
+
+#: float slack on the autotuned >= best-static throughput gate — the
+#: tie case (identical simulated runs) must not fail on rounding
+AUTOTUNE_TOLERANCE = 1e-6
 
 
 def _best_of(rounds, fn):
@@ -221,6 +235,87 @@ def batch_sweep_instrumented(coalesce=True, num_ssds=8, batches=10,
     return wall, env.events_processed, env.now
 
 
+# -- the elastic autotune sweep (fig12 closed-loop) -------------------------
+
+def autotune_sweep(iterations=8):
+    """Race the elastic controller against static core counts per mix.
+
+    For each compute/I-O mix in
+    :data:`repro.experiments.extras.ELASTIC_MIXES`, runs the same fig12
+    pipeline loop under the closed-loop controller and under each static
+    allocation in :data:`AUTOTUNE_STATIC_CORES`, comparing *simulated*
+    throughput (bytes / simulated seconds — wall-clock noise cannot
+    decide this gate).  Also integrates active cores over time: the
+    controller's win is equal throughput at fewer core-seconds.
+    """
+    from repro.experiments.extras import ELASTIC_MIXES, _elastic_loop
+
+    mixes = {}
+    all_met = True
+    for mix, compute_time in ELASTIC_MIXES:
+        t0 = time.perf_counter()
+        out = _elastic_loop(compute_time, iterations)
+        harness_wall = time.perf_counter() - t0
+        lo, hi = out["bounds"]
+        in_band = (
+            lo <= out["min_cores_seen"] <= out["max_cores_seen"] <= hi
+        )
+        elastic = {
+            "sim_s": out["wall"],
+            "throughput_bytes_per_s": out["bytes"] / out["wall"],
+            "final_cores": out["final_cores"],
+            "min_cores_seen": out["min_cores_seen"],
+            "max_cores_seen": out["max_cores_seen"],
+            "core_seconds": round(out["core_seconds"], 9),
+            "resizes": out["resizes"],
+            "in_band": in_band,
+        }
+        statics = {}
+        for cores in AUTOTUNE_STATIC_CORES:
+            sout = _elastic_loop(
+                compute_time, iterations,
+                controller=False, static_cores=cores,
+            )
+            statics[str(cores)] = {
+                "sim_s": sout["wall"],
+                "throughput_bytes_per_s": sout["bytes"] / sout["wall"],
+                "core_seconds": round(sout["core_seconds"], 9),
+            }
+        best_static = max(
+            statics.values(), key=lambda s: s["throughput_bytes_per_s"]
+        )
+        best = best_static["throughput_bytes_per_s"]
+        met = (
+            in_band
+            and elastic["throughput_bytes_per_s"]
+            >= best * (1 - AUTOTUNE_TOLERANCE)
+        )
+        all_met = all_met and met
+        mixes[mix] = {
+            "compute_time_s": compute_time,
+            "harness_wall_s": round(harness_wall, 3),
+            "elastic": elastic,
+            "static": statics,
+            "best_static_throughput_bytes_per_s": best,
+            "core_seconds_saved_vs_static_max": round(
+                statics[str(max(AUTOTUNE_STATIC_CORES))]["core_seconds"]
+                - elastic["core_seconds"], 9,
+            ),
+            "target_met": met,
+        }
+    return {
+        "workload": {
+            "num_ssds": 12, "iterations": iterations,
+            "requests_per_batch": 2048, "granularity": 4096,
+            "static_cores": list(AUTOTUNE_STATIC_CORES),
+        },
+        "band": [3, 6],
+        "tolerance": AUTOTUNE_TOLERANCE,
+        "mixes": mixes,
+        "target_met": all_met,
+    }
+
+
 # -- harness ---------------------------------------------------------------
 
 def _git_commit():
@@ -252,7 +347,39 @@ def main(argv=None):
         help="override the recorded pre-overhaul wall seconds "
         "(re-measure on this machine with the baseline commit)",
     )
+    parser.add_argument(
+        "--autotune-output", default="BENCH_autotune.json",
+        help="where to write the elastic autotune sweep "
+        "(default: ./BENCH_autotune.json)",
+    )
+    parser.add_argument(
+        "--only-autotune", action="store_true",
+        help="run only the elastic autotune sweep (the CI autotune job)",
+    )
     args = parser.parse_args(argv)
+
+    def run_autotune():
+        print("== autotune sweep (12 SSDs, elastic vs static cores) ==")
+        auto = autotune_sweep()
+        for mix, cell in auto["mixes"].items():
+            elastic = cell["elastic"]
+            print(
+                f"  {mix:14s} elastic {elastic['throughput_bytes_per_s'] / 1e9:6.2f} "
+                f"GB/s @ cores {elastic['min_cores_seen']}..."
+                f"{elastic['max_cores_seen']} | best static "
+                f"{cell['best_static_throughput_bytes_per_s'] / 1e9:6.2f} GB/s "
+                f"| saved {cell['core_seconds_saved_vs_static_max'] * 1e3:.2f} "
+                f"core-ms (met: {cell['target_met']})"
+            )
+        print(f"  autotuned >= best static and in-band everywhere: "
+              f"{auto['target_met']}")
+        auto_output = Path(args.autotune_output)
+        auto_output.write_text(json.dumps(auto, indent=2) + "\n")
+        print(f"wrote {auto_output}")
+        return auto
+
+    if args.only_autotune:
+        return 0 if run_autotune()["target_met"] else 1
 
     results = {
         "meta": {
@@ -419,12 +546,19 @@ def main(argv=None):
           f"{metrics_sweep['target_met']})")
     print(f"  sim_end identical: {metrics_sweep['sim_end_identical']}")
 
+    auto = run_autotune()
+    results["autotune_sweep"] = auto
+
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
     # metrics_sweep is advisory (the CI telemetry job soft-gates on it);
-    # only the hard sweeps decide the exit code
-    return 0 if (sweep["target_met"] and reliable["target_met"]) else 1
+    # the batch, reliability and autotune sweeps decide the exit code
+    return 0 if (
+        sweep["target_met"]
+        and reliable["target_met"]
+        and auto["target_met"]
+    ) else 1
 
 
 if __name__ == "__main__":

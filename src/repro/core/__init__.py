@@ -9,6 +9,10 @@ storage access:
   SPDK-style user-space queue pairs (Section III-A);
 * :mod:`repro.core.autotune` — dynamic adjustment of manager cores between
   N/4 and N/2 per N SSDs (Challenge 1);
+* :mod:`repro.core.elastic` — the closed-loop flavour of Challenge 1: a
+  pure :class:`~repro.core.elastic.ElasticCorePolicy` shared with the
+  advisor, driven live by an :class:`~repro.core.elastic.ElasticController`
+  over sampler busy fractions;
 * :mod:`repro.core.api` — the user-facing API of Table II: ``CAM_init``,
   ``CAM_alloc``, ``CAM_free``, ``prefetch``, ``prefetch_synchronize``,
   ``write_back``, ``write_back_synchronize``;
@@ -23,6 +27,12 @@ from repro.core.async_api import CamAsyncAPI, CamTicket
 from repro.core.autotune import CoreAutotuner
 from repro.core.control import BatchRequest, CamManager
 from repro.core.datapath import DirectDataPath
+from repro.core.elastic import (
+    CoreDecision,
+    ElasticController,
+    ElasticCorePolicy,
+    install_controller,
+)
 from repro.core.pipeline import DoubleBuffer, run_prefetch_pipeline
 from repro.core.regions import SyncRegions
 
@@ -34,8 +44,12 @@ __all__ = [
     "CamManager",
     "CamTicket",
     "CoreAutotuner",
+    "CoreDecision",
     "DirectDataPath",
     "DoubleBuffer",
+    "ElasticController",
+    "ElasticCorePolicy",
     "SyncRegions",
+    "install_controller",
     "run_prefetch_pipeline",
 ]

@@ -5,18 +5,31 @@ adjusts the number of cores for CPU-based SSD control according to the
 relative time of computation and I/O in the last batch" — using between
 N/4 and N/2 cores for N SSDs.
 
-The policy here is deliberately simple and hysteretic: when computation
-dominated the last batch (I/O has slack), drop a core; when I/O was the
-critical path, add one back.
+The decision logic lives in
+:class:`~repro.core.elastic.ElasticCorePolicy`; this module is the
+*advisor* front-end that folds per-batch (compute, I/O) time pairs into
+the policy's scalar pressure signal — the I/O share of the batch,
+``io / (compute + io)``.  The closed-loop controller
+(:class:`~repro.core.elastic.ElasticController`) feeds the same policy
+reactor busy fractions instead; advisor and controller are the same
+decision function under two different sensors.
+
+The historical threshold knobs are preserved exactly: the old rule
+"shrink when ``io < compute * shrink_threshold``" is the pressure band
+``io/(compute+io) < shrink_threshold/(1+shrink_threshold)`` (and
+likewise for grow), so observation sequences decide identically to the
+pre-refactor advisor.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 from repro.config import CAMConfig
+from repro.core.elastic import CoreDecision, ElasticCorePolicy
 from repro.errors import ConfigurationError
 
 
@@ -30,11 +43,23 @@ class CoreAutotuner:
     shrink_threshold: float = 0.85
     #: grow as soon as I/O exceeds compute by this factor
     grow_threshold: float = 1.0
-    history: List[Tuple[float, float, int]] = field(default_factory=list)
+    #: cap on retained observations — long-running serving sims feed the
+    #: advisor every batch forever, so the log must be bounded
+    history_limit: int = 4096
+    history: Deque[Tuple[float, float, int]] = field(init=False)
 
     def __post_init__(self):
         if self.num_ssds < 1:
             raise ConfigurationError("need at least one SSD")
+        if self.shrink_threshold < 0 or self.grow_threshold < 0:
+            raise ConfigurationError("thresholds must be non-negative")
+        if self.shrink_threshold > self.grow_threshold:
+            raise ConfigurationError(
+                "shrink_threshold must not exceed grow_threshold "
+                f"({self.shrink_threshold} > {self.grow_threshold})"
+            )
+        if self.history_limit < 1:
+            raise ConfigurationError("history_limit must be >= 1")
         config = self.config or CAMConfig()
         self.min_cores = max(
             1, math.ceil(self.num_ssds * config.min_cores_per_ssd)
@@ -45,19 +70,38 @@ class CoreAutotuner:
         )
         #: start at the maximum (safe) allocation, shrink when possible
         self.cores = self.max_cores
+        self.history = deque(maxlen=self.history_limit)
+        # io < compute * t  <=>  io/(io+compute) < t/(1+t): same bands,
+        # expressed on the policy's [0, 1] pressure axis
+        self.policy = ElasticCorePolicy(
+            num_ssds=self.num_ssds,
+            min_cores_per_ssd=config.min_cores_per_ssd,
+            max_cores_per_ssd=config.max_cores_per_ssd,
+            low_water=self.shrink_threshold / (1 + self.shrink_threshold),
+            high_water=self.grow_threshold / (1 + self.grow_threshold),
+            cooldown=0.0,
+        )
 
     def observe(self, compute_time: float, io_time: float) -> int:
         """Feed the last batch's times; returns the new core count."""
         if compute_time < 0 or io_time < 0:
             raise ConfigurationError("times must be non-negative")
         self.history.append((compute_time, io_time, self.cores))
-        if compute_time > 0 and io_time < compute_time * self.shrink_threshold:
-            # I/O fully hidden with slack: one fewer core still overlaps
-            self.cores = max(self.min_cores, self.cores - 1)
-        elif io_time > compute_time * self.grow_threshold:
-            # I/O on the critical path: give it more cores
-            self.cores = min(self.max_cores, self.cores + 1)
+        self.cores = self.decide(compute_time, io_time).cores
         return self.cores
+
+    def decide(self, compute_time: float, io_time: float) -> CoreDecision:
+        """The policy's verdict for one batch, without applying it."""
+        total = compute_time + io_time
+        pressure = io_time / total if total > 0 else None
+        # min/max may have been tightened after construction (CamContext
+        # clamps to the physical reactor pool), so pass them explicitly
+        return self.policy.decide(
+            pressure=pressure,
+            cores=self.cores,
+            min_cores=self.min_cores,
+            max_cores=self.max_cores,
+        )
 
     @property
     def bounds(self) -> Tuple[int, int]:

@@ -345,6 +345,11 @@ class CamManager:
         handles = driver._handles
         reliable = self.reliability is not None
         submit = driver.io_batch_reliable if reliable else driver.io_batch
+        # the fail-fast path records the resize epoch the grouping was
+        # computed against, so an elastic remap landing mid-flight drains
+        # the group on its original reactor instead of rejecting it (the
+        # reliable path re-drives re-homed items per-request instead)
+        extra = {} if reliable else {"epoch": driver.resize_epoch}
         stop = batch.request_count if stop is None else stop
         groups: dict = {}  # Reactor -> [(index, ssd_index, local_lba, payload)]
         for index in range(start, stop):
@@ -365,6 +370,7 @@ class CamManager:
                 is_write=batch.is_write,
                 target=batch.dest,
                 parent_span=batch.trace_span,
+                **extra,
             )
         else:
             procs = [
@@ -375,6 +381,7 @@ class CamManager:
                         is_write=batch.is_write,
                         target=batch.dest,
                         parent_span=batch.trace_span,
+                        **extra,
                     )
                 )
                 for items in grouped

@@ -282,6 +282,138 @@ def run_ablation_autotune(quick: bool = True) -> ExperimentResult:
     return result
 
 
+def _elastic_loop(
+    compute_time: float,
+    iterations: int,
+    *,
+    num_ssds: int = 12,
+    requests: int = 2048,
+    controller: bool = True,
+    static_cores=None,
+    cooldown: float = 500e-6,
+):
+    """One pipeline loop (prefetch -> compute -> synchronize) under the
+    closed-loop elastic controller — or a static allocation when
+    ``static_cores`` is given — returning the observed core series and
+    the run's cost accounting.  The sampler rides along either way (it
+    is a pure observer), so the core-seconds integral is comparable
+    across policies."""
+    from repro.core import CamContext, ElasticController, ElasticCorePolicy
+    from repro.obs import install_metrics, install_sampler
+
+    platform = Platform(PlatformConfig(num_ssds=num_ssds), functional=False)
+    context = CamContext(platform, autotune=False)
+    env = platform.env
+    metrics = install_metrics(env)
+    sampler = install_sampler(
+        metrics, manager=context.manager, interval=50e-6
+    )
+    ctrl = None
+    if static_cores is not None:
+        context.manager.set_active_reactors(static_cores)
+    elif controller:
+        ctrl = ElasticController(
+            sampler,
+            manager=context.manager,
+            policy=ElasticCorePolicy(num_ssds=num_ssds, cooldown=cooldown),
+        )
+    buffer = context.alloc(requests * 4096)
+    api = context.device_api()
+    lbas = np.arange(requests, dtype=np.int64) * 8
+
+    def kernel():
+        for _ in range(iterations):
+            yield from api.prefetch(lbas, buffer, 4096)
+            if compute_time:
+                yield env.timeout(compute_time)
+            yield from api.prefetch_synchronize()
+
+    start = env.now
+    env.run(env.process(kernel()))
+    elapsed = env.now - start
+    if ctrl is not None:
+        ctrl.stop()
+    sampler.stop()
+    sampler.sample_now()
+    series = sampler.series("cam_active_cores")
+    cores_seen = [int(v) for _, v in series] or [
+        context.manager.active_reactors
+    ]
+    # integral of active cores over time: the resource the tuner frees
+    core_seconds = 0.0
+    for (t0, v0), (t1, _) in zip(series, series[1:]):
+        core_seconds += float(v0) * (t1 - t0)
+    return {
+        "wall": elapsed,
+        "bytes": iterations * requests * 4096,
+        "final_cores": context.manager.active_reactors,
+        "min_cores_seen": min(cores_seen),
+        "max_cores_seen": max(cores_seen),
+        "core_seconds": core_seconds,
+        "resizes": ctrl.resizes if ctrl else 0,
+        "grows": ctrl.grows if ctrl else 0,
+        "shrinks": ctrl.shrinks if ctrl else 0,
+        "bounds": (
+            ctrl.policy.bounds if ctrl
+            else (max(1, -(-num_ssds // 4)), max(1, -(-num_ssds // 2)))
+        ),
+    }
+
+
+#: the fig12-style compute/I-O mixes the elastic sweep drives
+ELASTIC_MIXES = (
+    ("compute-bound", 5e-3),
+    ("balanced", 1e-3),
+    ("io-bound", 0.0),
+)
+
+
+def run_elastic(quick: bool = True) -> ExperimentResult:
+    """Fig. 12, closed-loop: active cores tracking the N/4..N/2 band.
+
+    Sweeps compute/I-O mixes through the same pipeline loop with the
+    :class:`~repro.core.elastic.ElasticController` live.  The paper's
+    claim: compute-bound loops need only N/4 manager cores (I/O hides
+    under compute with room to spare), I/O-bound loops need the full
+    N/2, and the controller should find those operating points on its
+    own from reactor busy fractions — never leaving the band.
+    """
+    result = ExperimentResult(
+        exp_id="elastic",
+        title="Closed-loop elastic cores across compute/I-O mixes",
+        paper_expectation=(
+            "Section III-A / Fig. 12: N SSDs want N/4 cores when compute "
+            "dominates and N/2 when I/O does; the busy-fraction feedback "
+            "loop lands inside that band for every mix"
+        ),
+    )
+    iterations = 8 if quick else 24
+    table = result.add_table(
+        Table(
+            "12 SSDs, pipeline loop, controller live",
+            ["mix", "final_cores", "min_seen", "max_seen", "in_band",
+             "grows", "shrinks", "wall_ms", "core_seconds"],
+        )
+    )
+    for mix, compute_time in ELASTIC_MIXES:
+        out = _elastic_loop(compute_time, iterations)
+        lo, hi = out["bounds"]
+        in_band = lo <= out["min_cores_seen"] <= out["max_cores_seen"] <= hi
+        result.scenario_details[mix] = out
+        table.add_row(
+            mix, out["final_cores"], out["min_cores_seen"],
+            out["max_cores_seen"], in_band, out["grows"], out["shrinks"],
+            out["wall"] * 1e3, out["core_seconds"],
+        )
+    result.note(
+        "in_band checks every sampled core count against [N/4, N/2] = "
+        "[3, 6]; core_seconds is the integral of active cores over the "
+        "run — the resource the controller hands back to the application "
+        "on compute-bound mixes"
+    )
+    return result
+
+
 def run_ssd_character(quick: bool = True) -> ExperimentResult:
     """Device-model validation against the P5510 datasheet anchors."""
     from repro.backends import measure_throughput
@@ -675,6 +807,8 @@ def _chaos_batches(
     per_batch: int = 32,
     num_ssds: int = 4,
     num_cores: int = 2,
+    elastic: bool = False,
+    inter_batch_idle: float = 0.0,
     flight_dir=None,
     scenario: str = "chaos",
 ):
@@ -693,8 +827,13 @@ def _chaos_batches(
     and turn the supervisor on.  ``admission_limits`` builds an
     :class:`~repro.reliability.AdmissionController` so batches beyond
     the bound shed with :class:`~repro.errors.OverloadError`.
+    ``elastic`` arms an aggressive
+    :class:`~repro.core.elastic.ElasticController` (tiny interval and
+    cooldown so it actually remaps mid-run); ``inter_batch_idle`` makes
+    each worker sleep between batches, carving the bursty-then-idle
+    pressure profile that forces shrink-then-grow cycles.
     """
-    from repro.core import CamContext
+    from repro.core import CamContext, ElasticController, ElasticCorePolicy
     from repro.core.control import BatchRequest
     from repro.errors import DeviceError, OverloadError
     from repro.hw.faults import FaultInjector
@@ -736,6 +875,15 @@ def _chaos_batches(
     tracer = install_tracer(env)
     metrics = install_metrics(env)
     sampler = install_sampler(metrics, manager=manager, interval=20e-6)
+    controller = None
+    if elastic:
+        controller = ElasticController(
+            sampler,
+            manager=manager,
+            policy=ElasticCorePolicy(num_ssds=num_ssds, cooldown=50e-6),
+            interval=40e-6,
+            window_samples=2,
+        )
     granularity = 4 * KiB
     blocks = granularity // platform.config.ssd.block_size
     platform.stripe_blocks = blocks
@@ -754,7 +902,11 @@ def _chaos_batches(
         env.process(drop_device())
 
     def worker():
-        for _ in range(batches):
+        for index in range(batches):
+            if inter_batch_idle and index:
+                # the idle half of burst-then-idle: pressure collapses,
+                # the controller shrinks, the next burst grows it back
+                yield env.timeout(inter_batch_idle)
             lbas = rng.integers(0, 1 << 15, size=per_batch) * blocks
             batch = BatchRequest(
                 lbas=np.asarray(lbas, dtype=np.int64),
@@ -782,6 +934,8 @@ def _chaos_batches(
     elapsed = env.now - start
     if manager.supervisor is not None:
         manager.supervisor.stop()
+    if controller is not None:
+        controller.stop()
     sampler.stop()
     sampler.sample_now()
     driver = manager.driver
@@ -813,6 +967,7 @@ def _chaos_batches(
         "partition_ok": all(
             not handle.reactor.crashed for handle in driver._handles
         ),
+        "resizes": controller.resizes if controller is not None else 0,
         "metrics": metrics.registry.snapshot(),
         "_dump": dump_bundle,
     }
@@ -984,6 +1139,27 @@ def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
             },
             lambda o: o["shed"] > 0 and o["p99"] < 50e-3,
         ),
+        # elastic controller live while faults play out: resizes and
+        # supervisor re-homing must compose without breaking exactly-once
+        (
+            "resize_during_stall",
+            {"reactor_stall": (0, 0.05e-3, 20e-3), "elastic": True},
+            lambda o: o["app_errors"] == 0,
+        ),
+        (
+            "resize_during_crash",
+            {"reactor_crash": (0, 0.05e-3), "elastic": True},
+            lambda o: o["app_errors"] == 0,
+        ),
+        (
+            "burst_then_idle",
+            {
+                "elastic": True,
+                "inter_batch_idle": 2e-3,
+                "batches": max(3, batches),
+            },
+            lambda o: o["app_errors"] == 0 and o["resizes"] > 0,
+        ),
     ]
     details = result.scenario_details
     for name, kwargs, extra_check in scenarios:
@@ -1001,6 +1177,7 @@ def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
             )
         details[name] = {
             "metrics": out["metrics"],
+            "resizes": out["resizes"],
             "flight_bundle": str(bundle) if bundle is not None else None,
         }
         table.add_row(

@@ -44,6 +44,7 @@ EXTRAS: Dict[str, str] = {
     "ssd_character": "repro.experiments.extras:run_ssd_character",
     "reliability": "repro.experiments.extras:run_reliability",
     "chaos": "repro.experiments.extras:run_chaos",
+    "elastic": "repro.experiments.extras:run_elastic",
 }
 
 

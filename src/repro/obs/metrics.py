@@ -373,6 +373,9 @@ class NullMetrics:
     def failover(self, reactor_id):
         pass
 
+    def core_resize(self, direction, active):
+        pass
+
     def stack_io_done(self, stack, latency):
         pass
 
@@ -442,6 +445,16 @@ class Metrics:
             help="reactors declared dead and failed over",
             labels=("reactor",),
         )
+        self.active_cores = r.gauge(
+            "cam_active_cores",
+            help="reactors currently in the active window (the paper's "
+                 "N/4..N/2 elastic core count)",
+        )
+        self.core_resizes = r.counter(
+            "cam_core_resizes_total",
+            help="live active-window resizes applied to the reactor pool",
+            labels=("direction",),
+        )
         self.stack_requests = r.counter(
             "oskernel_requests_total",
             help="requests completed by OS kernel I/O stacks",
@@ -474,6 +487,10 @@ class Metrics:
 
     def failover(self, reactor_id: int) -> None:
         self.failovers.labels(reactor_id).inc()
+
+    def core_resize(self, direction: str, active: int) -> None:
+        self.core_resizes.labels(direction).inc()
+        self.active_cores.child().set(active)
 
     def stack_io_done(self, stack: str, latency: float) -> None:
         self.stack_requests.labels(stack).inc()

@@ -135,6 +135,17 @@ class MetricsSampler:
             "reactor_requests_total",
             help="requests charged to each reactor", labels=("reactor",),
         )
+        # already registered when a Metrics bundle pre-created it; the
+        # pull below keeps the gauge fresh even between resize pushes
+        self._g_active_cores = gauge(
+            "cam_active_cores",
+            help="reactors currently in the active window (the paper's "
+                 "N/4..N/2 elastic core count)",
+        )
+        self._g_alive = gauge(
+            "cam_alive_reactors",
+            help="reactors not currently crashed (any window)",
+        )
         self._g_sq = gauge(
             "ssd_sq_occupancy", help="submission-queue entries in flight",
             labels=("ssd",),
@@ -269,6 +280,8 @@ class MetricsSampler:
             self._c_duplicates.child().set_total(
                 driver.duplicate_completions
             )
+            self._g_active_cores.child().set(driver.pool.active_count)
+            self._g_alive.child().set(len(driver.pool.alive_reactors()))
             supervisor = driver.supervisor
             if supervisor is not None:
                 self._c_supervisor_stalls.child().set_total(

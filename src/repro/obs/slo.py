@@ -282,6 +282,17 @@ class SloMonitor:
     def ok(self) -> bool:
         return not self.violations
 
+    def violated_within(
+        self, window: float, now: Optional[float] = None
+    ) -> bool:
+        """True if any objective fired in the last ``window`` seconds —
+        the elastic controller's shrink-veto question."""
+        if not self.violations:
+            return False
+        if now is None:
+            now = self.env.now
+        return now - self.violations[-1].time <= window
+
     def __repr__(self) -> str:
         return (
             f"<SloMonitor {len(self.objectives)} objectives, "

@@ -51,6 +51,9 @@ SPAN_KINDS: Tuple[str, ...] = (
     "rebuild_done",
     # telemetry subsystem (repro.obs.slo)
     "slo_violation",
+    # elastic core control (repro.core.elastic)
+    "core_grow",
+    "core_shrink",
 )
 
 #: default ring-buffer capacity (spans); enough for the quick experiment

@@ -86,6 +86,11 @@ class SpdkDriver:
         self.bytes_done = Counter(self.env)
         #: chaos invariant: a request settling twice would count here
         self.duplicate_completions = 0
+        #: bumped whenever a remap moves any SSD between reactors; lets
+        #: in-flight coalesced groups distinguish "my SSD was re-homed
+        #: under me" (drain on the original reactor) from a malformed
+        #: group (still a ConfigurationError)
+        self.resize_epoch = 0
         self.supervisor: Optional[ReactorSupervisor] = None
         self._install_reactor_faults()
 
@@ -95,10 +100,40 @@ class SpdkDriver:
 
     def remap(self, active_count: Optional[int] = None) -> None:
         """Spread the SSDs over the first ``active_count`` reactors and
-        rebind each queue-pair handle to its new owner."""
+        rebind each queue-pair handle to its new owner.
+
+        A resize (an ``active_count`` different from the current window)
+        emits a ``core_grow``/``core_shrink`` tracer instant and bumps
+        the ``cam_core_resizes_total`` counter; failover's same-size
+        re-homing stays silent (it has its own ``reactor_failover``
+        telemetry).  Every path that changes the window — the elastic
+        controller, :meth:`CamManager.set_active_reactors`, direct
+        calls — funnels through here, so the record is complete.
+        """
+        previous = self.pool.active_count
         self.pool.remap(active_count)
+        moved = False
         for handle in self._handles:
-            handle.reactor = self.pool.reactor_for(handle.ssd_index)
+            reactor = self.pool.reactor_for(handle.ssd_index)
+            if reactor is not handle.reactor:
+                handle.reactor = reactor
+                moved = True
+        if moved:
+            self.resize_epoch += 1
+        active = self.pool.active_count
+        if active_count is None or active == previous:
+            return
+        direction = "grow" if active > previous else "shrink"
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                f"core_{direction}",
+                from_cores=previous,
+                to_cores=active,
+            )
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.core_resize(direction, active)
 
     # -- reactor fault tolerance ---------------------------------------
     def fail_reactor(self, reactor_id: int) -> None:
@@ -356,6 +391,7 @@ class SpdkDriver:
         is_write: bool = False,
         target=None,
         parent_span=None,
+        epoch: Optional[int] = None,
     ) -> Generator:
         """Process: coalesced submission of one reactor's share of a batch.
 
@@ -376,6 +412,15 @@ class SpdkDriver:
         :class:`~repro.errors.ReactorOfflineError` for items the owning
         reactor crashed under before they reached the wire.
 
+        ``epoch`` is the :attr:`resize_epoch` observed when the caller
+        formed the group (defaults to the value at generator start).  If
+        a remap moves an SSD to another reactor after that point — an
+        elastic resize or a failover landing mid-group — the group keeps
+        draining on its original reactor (in-flight work drains where it
+        was charged; only *new* groups land on the new assignment).  A
+        mixed group with no intervening remap is a caller bug and still
+        raises :class:`~repro.errors.ConfigurationError`.
+
         Only valid without a reliability bundle — per-request retries and
         watchdog deadlines ride :meth:`io_batch_reliable` instead.
         """
@@ -386,6 +431,8 @@ class SpdkDriver:
             )
         if not items:
             return []
+        if epoch is None:
+            epoch = self.resize_epoch
         block_size = self.platform.config.ssd.block_size
         num_blocks = max(1, -(-granularity // block_size))
         poll_iterations = self._poll_iterations(is_write)
@@ -418,12 +465,16 @@ class SpdkDriver:
                         break
                     handle = handles[ssd_index]
                     if handle.reactor is not reactor:
-                        raise ConfigurationError(
-                            f"io_batch group mixes reactors: SSD "
-                            f"{ssd_index} is owned by reactor "
-                            f"{handle.reactor.reactor_id}, group started "
-                            f"on {reactor.reactor_id}"
-                        )
+                        if self.resize_epoch == epoch:
+                            raise ConfigurationError(
+                                f"io_batch group mixes reactors: SSD "
+                                f"{ssd_index} is owned by reactor "
+                                f"{handle.reactor.reactor_id}, group "
+                                f"started on {reactor.reactor_id}"
+                            )
+                        # a remap re-homed this SSD after the group was
+                        # formed: keep draining on the original reactor
+                        # (queue pair and dispatcher never move)
                     span = None
                     if tracing:
                         span = tracer.begin(

@@ -68,6 +68,21 @@ def test_history_recorded():
     assert tuner.history[0][:2] == (1.0, 0.5)
 
 
+def test_history_is_bounded():
+    """Regression: a long-lived tuner must not grow its history without
+    limit — only the newest ``history_limit`` observations survive."""
+    tuner = CoreAutotuner(num_ssds=8, history_limit=16)
+    for index in range(100):
+        tuner.observe(float(index), 0.5)
+    assert len(tuner.history) == 16
+    assert tuner.history[0][0] == 84.0
+    assert tuner.history[-1][0] == 99.0
+    # default cap exists too, and nonsense caps are rejected
+    assert CoreAutotuner(num_ssds=8).history.maxlen == 4096
+    with pytest.raises(ConfigurationError):
+        CoreAutotuner(num_ssds=8, history_limit=0)
+
+
 def test_end_to_end_autotune_shrinks_under_compute_heavy_loop():
     """Compute-heavy pipeline iterations shed manager cores live."""
     platform = Platform(PlatformConfig(num_ssds=12), functional=False)

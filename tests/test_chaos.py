@@ -34,4 +34,7 @@ def test_chaos_quick_invariants_hold():
         "overload_4x",
         "mirrored_baseline",
         "mirrored_reactor_crash",
+        "resize_during_stall",
+        "resize_during_crash",
+        "burst_then_idle",
     } <= seen

@@ -1,0 +1,227 @@
+"""Property-based tests for the elastic core policy.
+
+:class:`~repro.core.elastic.ElasticCorePolicy` is a pure function, so
+hypothesis can replay arbitrary pressure/violation schedules against it
+and check the guarantees the controller leans on:
+
+* every decision lands inside the paper band [N/4, N/2] (clamped to any
+  tighter physical bounds);
+* hysteresis: a grow is never undone by a shrink within the cooldown;
+* a constant pressure signal converges to a fixed core count and stays
+  there;
+* the SLO guardrail vetoes every shrink while a violation is in force,
+  for arbitrary violation/clear sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.elastic import CoreDecision, ElasticCorePolicy
+from repro.errors import ConfigurationError
+
+pressures = st.one_of(
+    st.none(), st.floats(min_value=0.0, max_value=1.0)
+)
+
+policies = st.builds(
+    ElasticCorePolicy,
+    num_ssds=st.integers(min_value=1, max_value=64),
+    low_water=st.floats(min_value=0.0, max_value=0.5),
+    high_water=st.floats(min_value=0.5, max_value=1.0),
+    cooldown=st.floats(min_value=0.0, max_value=1.0),
+    step=st.integers(min_value=1, max_value=4),
+)
+
+
+def _replay(policy, schedule, *, start=None):
+    """Drive one decision per schedule entry, applying each decision the
+    way the controller does; returns the visited (time, decision) list.
+
+    ``schedule`` entries are ``(pressure, slo_violated)``; ticks are 1
+    policy-cooldown/4 apart so cooldown windows actually matter.
+    """
+    cores = policy.max_cores if start is None else start
+    last_change = None
+    tick = max(policy.cooldown / 4, 1e-3)
+    visited = []
+    for index, (pressure, violated) in enumerate(schedule):
+        now = index * tick
+        decision = policy.decide(
+            pressure=pressure,
+            cores=cores,
+            now=now,
+            last_change=last_change,
+            slo_violated=violated,
+        )
+        visited.append((now, decision))
+        if decision.cores != cores:
+            last_change = now
+        cores = decision.cores
+    return visited
+
+
+# -- property 1: decisions always land in [N/4, N/2] -----------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    policy=policies,
+    schedule=st.lists(
+        st.tuples(pressures, st.booleans()), min_size=1, max_size=40
+    ),
+    start=st.integers(min_value=-5, max_value=80),
+)
+def test_decisions_always_in_band(policy, schedule, start):
+    visited = _replay(policy, schedule, start=start)
+    for _, decision in visited:
+        assert policy.min_cores <= decision.cores <= policy.max_cores
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=policies,
+    pressure=pressures,
+    cores=st.integers(min_value=1, max_value=80),
+    bounds=st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    ),
+)
+def test_decisions_respect_tighter_override_bounds(
+    policy, pressure, cores, bounds
+):
+    """CamContext narrows the bounds post-construction; the effective
+    floor can never exceed the effective ceiling."""
+    lo, hi = bounds
+    decision = policy.decide(
+        pressure=pressure, cores=cores, min_cores=lo, max_cores=hi
+    )
+    assert min(lo, hi) <= decision.cores <= hi
+
+
+# -- property 2: hysteresis forbids grow->shrink flapping ------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    policy=policies.filter(
+        lambda p: p.cooldown > 0 and p.max_cores > p.min_cores
+    ),
+    schedule=st.lists(
+        st.tuples(pressures, st.booleans()), min_size=2, max_size=60
+    ),
+)
+def test_no_shrink_within_cooldown_of_any_change(policy, schedule):
+    visited = _replay(policy, schedule)
+    last_change = None
+    for now, decision in visited:
+        if decision.action == "shrink" and last_change is not None:
+            assert now - last_change >= policy.cooldown, (
+                f"shrink at {now} only {now - last_change} after the "
+                f"previous change (cooldown {policy.cooldown})"
+            )
+        if decision.changed:
+            last_change = now
+
+
+# -- property 3: constant input converges to a fixed point -----------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    policy=policies,
+    pressure=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_constant_pressure_converges(policy, pressure):
+    """Enough ticks of the same signal reach a core count that maps to
+    itself — no sustained oscillation under a steady workload."""
+    span = policy.max_cores - policy.min_cores
+    # worst case walks the whole band one step per cooldown window
+    ticks = (span + 2) * 8
+    visited = _replay(policy, [(pressure, False)] * ticks)
+    final = visited[-1][1].cores
+    fixed = policy.decide(
+        pressure=pressure,
+        cores=final,
+        now=1e9,  # any cooldown long expired
+        last_change=0.0,
+        slo_violated=False,
+    )
+    assert fixed.cores == final
+    assert fixed.action == "hold"
+
+
+# -- property 4: the SLO veto is respected ---------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    policy=policies,
+    schedule=st.lists(
+        st.tuples(pressures, st.booleans()), min_size=1, max_size=60
+    ),
+)
+def test_slo_veto_blocks_every_shrink(policy, schedule):
+    visited = _replay(policy, schedule)
+    for (_, decision), (_, violated) in zip(visited, schedule):
+        if violated:
+            assert decision.action != "shrink", (
+                "shrank while an SLO objective was violated"
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(policy=policies, pressure=pressures)
+def test_veto_never_blocks_growth(policy, pressure):
+    """The guardrail is one-directional: overload answers immediately."""
+    clear = policy.decide(
+        pressure=pressure, cores=policy.min_cores, slo_violated=False
+    )
+    vetoed = policy.decide(
+        pressure=pressure, cores=policy.min_cores, slo_violated=True
+    )
+    if clear.action == "grow":
+        assert vetoed.action == "grow"
+        assert vetoed.cores == clear.cores
+
+
+# -- deterministic unit edges ----------------------------------------------
+
+def test_band_matches_paper_bounds():
+    assert ElasticCorePolicy(num_ssds=12).bounds == (3, 6)
+    assert ElasticCorePolicy(num_ssds=8).bounds == (2, 4)
+    assert ElasticCorePolicy(num_ssds=1).bounds == (1, 1)
+
+
+def test_decision_fields():
+    policy = ElasticCorePolicy(num_ssds=12)
+    decision = policy.decide(pressure=0.95, cores=4)
+    assert decision == CoreDecision(5, "grow", decision.reason, 0.95)
+    assert decision.changed
+    hold = policy.decide(pressure=0.5, cores=4)
+    assert hold.action == "hold" and not hold.changed
+
+
+def test_no_signal_holds():
+    policy = ElasticCorePolicy(num_ssds=12)
+    decision = policy.decide(pressure=None, cores=5)
+    assert decision.action == "hold"
+    assert decision.reason == "no signal"
+
+
+def test_out_of_band_cores_clamp_immediately():
+    policy = ElasticCorePolicy(num_ssds=12)
+    assert policy.decide(pressure=0.5, cores=9).cores == 6
+    assert policy.decide(pressure=0.5, cores=1).cores == 3
+    assert policy.decide(pressure=0.5, cores=9).action == "clamp"
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        ElasticCorePolicy(num_ssds=0)
+    with pytest.raises(ConfigurationError):
+        ElasticCorePolicy(num_ssds=4, low_water=0.9, high_water=0.4)
+    with pytest.raises(ConfigurationError):
+        ElasticCorePolicy(num_ssds=4, cooldown=-1.0)
+    with pytest.raises(ConfigurationError):
+        ElasticCorePolicy(num_ssds=4, step=0)
+    policy = ElasticCorePolicy(num_ssds=4)
+    with pytest.raises(ConfigurationError):
+        policy.decide(pressure=0.5, cores=2, max_cores=0)

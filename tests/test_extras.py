@@ -23,6 +23,7 @@ def test_extras_registry():
         "ssd_character",
         "reliability",
         "chaos",
+        "elastic",
     }
 
 
