@@ -23,6 +23,12 @@ Measures three layers and writes the results to ``BENCH_perf.json``:
   instrumented vs plain wall-clock, plus the proof obligation that the
   sampler does not perturb the simulation (identical ``sim_end``).  The
   overhead target is advisory (CI treats it as a soft failure).
+* **serving_sweep** — written to ``BENCH_serving.json``: the KV-cache
+  serving benchmark (ISSUE 7) across concurrent-session counts on CAM
+  vs BaM vs GDS with a fixed KV residency budget.  Hard gates: CAM's
+  TTFT p99 beats BaM's at the largest session count, and the
+  metrics-instrumented run is simulated-time-identical to the plain
+  run.
 * **autotune_sweep** — written to ``BENCH_autotune.json``: the fig12
   pipeline loop across compute/I-O mixes under the closed-loop
   :class:`~repro.core.elastic.ElasticController` vs every static core
@@ -82,6 +88,11 @@ METRICS_OVERHEAD_TARGET = 1.05
 #: static core counts the autotune sweep races the controller against
 #: (the paper band endpoints for 12 SSDs, plus a midpoint)
 AUTOTUNE_STATIC_CORES = (3, 4, 6)
+
+#: concurrent-session points for the serving sweep (ISSUE 7); quick is
+#: the CI shape — the gate must already hold at its top point
+SERVING_SESSION_COUNTS = (100, 1000, 10000)
+SERVING_QUICK_COUNTS = (50, 150, 400)
 
 #: float slack on the autotuned >= best-static throughput gate — the
 #: tie case (identical simulated runs) must not fail on rounding
@@ -316,6 +327,78 @@ def autotune_sweep(iterations=8):
     }
 
 
+def serving_sweep(session_counts=SERVING_SESSION_COUNTS):
+    """The KV-cache serving benchmark: CAM vs BaM vs GDS TTFT tails.
+
+    For each session count, serves the same deterministic session pool
+    (seed-pinned arrivals, think times, context/decode lengths) over
+    each backend with a fixed KV residency budget, so memory pressure
+    grows with concurrency and evicted blocks must be prefetched from
+    SSD on the turn's critical path — unless the backend's API is
+    asynchronous (CAM), which overlaps the load with prefill compute.
+
+    Hard gates: CAM's TTFT p99 beats BaM's at the largest session
+    count, and a metrics-instrumented CAM run ends at the exact same
+    simulated time as the plain run (telemetry observes, never
+    perturbs).
+    """
+    from repro.experiments.serving import (
+        CAPACITY_BLOCKS,
+        MAX_CONCURRENT_DECODES,
+        NUM_SSDS,
+        SESSION_KWARGS,
+        serve_once,
+    )
+
+    points = []
+    for num_sessions in session_counts:
+        row = {"sessions": num_sessions, "backends": {}}
+        for name in ("cam", "bam", "gds"):
+            t0 = time.perf_counter()
+            run, sim_end = serve_once(name, num_sessions)
+            row["backends"][name] = {
+                "wall_s": round(time.perf_counter() - t0, 3),
+                "sim_s": run.elapsed_s,
+                "sim_end": sim_end,
+                "ttft_p50_ms": round(run.ttft_p50 * 1e3, 4),
+                "ttft_p99_ms": round(run.ttft_p99 * 1e3, 4),
+                "tokens_per_s": round(run.tokens_per_s, 1),
+                "kv_hit_rate": round(run.kv_hit_rate, 4),
+                "kv_evictions": run.kv_evictions,
+                "overload_retries": run.overload_retries,
+            }
+        points.append(row)
+
+    top = points[-1]["backends"]
+    cam_beats_bam = top["cam"]["ttft_p99_ms"] < top["bam"]["ttft_p99_ms"]
+
+    # telemetry differential: the instrumented run must replay the
+    # plain run's simulated history exactly
+    diff_sessions = session_counts[0]
+    _, end_plain = serve_once("cam", diff_sessions)
+    _, end_instrumented = serve_once("cam", diff_sessions, metrics=True)
+    metrics_identical = end_plain == end_instrumented
+
+    return {
+        "workload": {
+            "num_ssds": NUM_SSDS,
+            "capacity_blocks": CAPACITY_BLOCKS,
+            "max_concurrent_decodes": MAX_CONCURRENT_DECODES,
+            "session_counts": list(session_counts),
+            **SESSION_KWARGS,
+        },
+        "points": points,
+        "cam_ttft_p99_beats_bam_at_top": cam_beats_bam,
+        "metrics_differential": {
+            "sessions": diff_sessions,
+            "sim_end_plain": end_plain,
+            "sim_end_instrumented": end_instrumented,
+            "identical": metrics_identical,
+        },
+        "target_met": cam_beats_bam and metrics_identical,
+    }
+
+
 # -- harness ---------------------------------------------------------------
 
 def _git_commit():
@@ -356,6 +439,20 @@ def main(argv=None):
         "--only-autotune", action="store_true",
         help="run only the elastic autotune sweep (the CI autotune job)",
     )
+    parser.add_argument(
+        "--serving-output", default="BENCH_serving.json",
+        help="where to write the KV-cache serving sweep "
+        "(default: ./BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--only-serving", action="store_true",
+        help="run only the KV-cache serving sweep (the CI serving job)",
+    )
+    parser.add_argument(
+        "--serving-quick", action="store_true",
+        help="reduced serving session counts "
+        f"{SERVING_QUICK_COUNTS} instead of {SERVING_SESSION_COUNTS}",
+    )
     args = parser.parse_args(argv)
 
     def run_autotune():
@@ -378,8 +475,33 @@ def main(argv=None):
         print(f"wrote {auto_output}")
         return auto
 
+    def run_serving():
+        counts = (
+            SERVING_QUICK_COUNTS if args.serving_quick
+            else SERVING_SESSION_COUNTS
+        )
+        print(f"== serving sweep (KV cache on SSD, sessions {counts}) ==")
+        serving = serving_sweep(counts)
+        for point in serving["points"]:
+            cells = "  ".join(
+                f"{name} p99={cell['ttft_p99_ms']:8.2f} ms"
+                for name, cell in point["backends"].items()
+            )
+            print(f"  {point['sessions']:6d} sessions  {cells}")
+        print(f"  cam p99 < bam p99 at top count: "
+              f"{serving['cam_ttft_p99_beats_bam_at_top']}")
+        print(f"  metrics-on sim_end identical: "
+              f"{serving['metrics_differential']['identical']}")
+        serving_output = Path(args.serving_output)
+        serving_output.write_text(json.dumps(serving, indent=2) + "\n")
+        print(f"wrote {serving_output}")
+        return serving
+
     if args.only_autotune:
         return 0 if run_autotune()["target_met"] else 1
+
+    if args.only_serving:
+        return 0 if run_serving()["target_met"] else 1
 
     results = {
         "meta": {
@@ -549,15 +671,20 @@ def main(argv=None):
     auto = run_autotune()
     results["autotune_sweep"] = auto
 
+    serving = run_serving()
+    results["serving_sweep"] = serving
+
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
     # metrics_sweep is advisory (the CI telemetry job soft-gates on it);
-    # the batch, reliability and autotune sweeps decide the exit code
+    # the batch, reliability, autotune and serving sweeps decide the
+    # exit code
     return 0 if (
         sweep["target_met"]
         and reliable["target_met"]
         and auto["target_met"]
+        and serving["target_met"]
     ) else 1
 
 

@@ -51,6 +51,10 @@ class CachedBackend(StorageBackend):
         self.hits = Counter(self.env)
         self.misses = Counter(self.env)
         self.evictions = Counter(self.env)
+        #: (registry, hit counter, miss counter, hit-rate gauge) once
+        #: the live metrics registry has been seen (lazy: the cache may
+        #: be built before ``install_metrics`` runs)
+        self._instruments = None
 
     @property
     def name(self) -> str:
@@ -72,6 +76,38 @@ class CachedBackend(StorageBackend):
 
     def _cached(self, page: int) -> bool:
         return page in self._lru
+
+    def _publish(self) -> None:
+        """Mirror the cache counters into the live metrics registry.
+
+        Pure arithmetic on the registry (never touches the event heap),
+        guarded on ``metrics.enabled`` like every hot-path push, so a
+        metrics-on run stays bit-identical in simulated history.
+        """
+        metrics = self.env.metrics
+        if not metrics.enabled:
+            return
+        registry = metrics.registry
+        if self._instruments is None or self._instruments[0] is not registry:
+            specs = (
+                ("cam_cache_hits_total", "counter",
+                 "host-cache pages served from DRAM"),
+                ("cam_cache_misses_total", "counter",
+                 "host-cache pages fetched from the inner backend"),
+                ("cam_cache_hit_rate", "gauge",
+                 "host-cache hits / lookups so far"),
+            )
+            children = []
+            for name, kind, help_text in specs:
+                family = registry.get(name)
+                if family is None:
+                    family = registry.register(name, kind, help=help_text)
+                children.append(family.child())
+            self._instruments = (registry, *children)
+        _, hits, misses, hit_rate = self._instruments
+        hits.set_total(self.hits.total)
+        misses.set_total(self.misses.total)
+        hit_rate.set(self.hit_rate())
 
     def io(
         self,
@@ -98,6 +134,7 @@ class CachedBackend(StorageBackend):
 
         if all(self._cached(page) for page in pages):
             self.hits.add(len(pages))
+            self._publish()
             for page in pages:
                 self._touch(page)
             # served from DRAM: one bus crossing (+ copy to GPU)
@@ -107,6 +144,7 @@ class CachedBackend(StorageBackend):
             return CQE(command_id=-1)
 
         self.misses.add(len(pages))
+        self._publish()
         cqe = yield from self.inner.io(
             lba, nbytes, is_write=False, payload=payload,
             target=target, target_offset=target_offset,

@@ -45,6 +45,7 @@ EXTRAS: Dict[str, str] = {
     "reliability": "repro.experiments.extras:run_reliability",
     "chaos": "repro.experiments.extras:run_chaos",
     "elastic": "repro.experiments.extras:run_elastic",
+    "serving": "repro.experiments.serving:run_serving",
 }
 
 

@@ -1,0 +1,347 @@
+"""The serving engine: session turns over an SSD-backed KV cache.
+
+One :class:`ServingEngine` drives a :class:`~repro.serving.sessions.
+SessionPool` against a storage backend.  Per session turn it
+
+1. waits for a **decode slot** (continuous-batching capacity of the
+   simulated GPU; the queue wait is the load-dependent part of TTFT);
+2. asks the :class:`~repro.serving.kvstore.KvBlockStore` which of the
+   session's KV blocks were evicted while the user was thinking, and
+   **prefetches** them from SSD — through the CAM Table II device API
+   (``prefetch``/``prefetch_synchronize``) when the backend is CAM, so
+   the whole batch rides :meth:`CamManager.ring` and every hot-path
+   subsystem (coalescing, reliability, admission control, the elastic
+   controller) applies unchanged; per-block concurrent requests on the
+   other backends;
+3. runs prefill **overlapped** with the KV load when the backend's API
+   is asynchronous (CAM), serially otherwise — the same convention the
+   training workloads use (``overlap = backend.name == "cam"``);
+4. decodes the response, **writing back** newly filled KV blocks as
+   they are produced (asynchronously under CAM, inline otherwise), so
+   every resident block stays clean and eviction is free.
+
+Admission control composes without special cases in the manager: a shed
+batch surfaces here as :class:`~repro.errors.OverloadError` and the
+engine re-rings after a deterministic backoff — the client-side half of
+the PR-4 overload contract.
+
+All metric pushes go through :class:`~repro.serving.metrics.
+ServingMetrics` and are guarded on one attribute test, keeping
+metrics-on runs bit-identical in simulated history to metrics-off runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.backends.base import StorageBackend
+from repro.errors import ConfigurationError, OverloadError
+from repro.serving.kvstore import KvBlockStore
+from repro.serving.metrics import ServingMetrics
+from repro.serving.sessions import Session, SessionPool, Turn
+from repro.sim.resources import Resource
+
+
+@dataclass
+class ServingResult:
+    """Everything one serving run produced."""
+
+    backend: str
+    policy: str
+    num_sessions: int
+    turns_done: int = 0
+    tokens_done: int = 0
+    #: simulated seconds from run start to last turn completion
+    elapsed_s: float = 0.0
+    ttfts: List[float] = field(default_factory=list)
+    queue_waits: List[float] = field(default_factory=list)
+    kv_hits: int = 0
+    kv_misses: int = 0
+    kv_evictions: int = 0
+    overload_retries: int = 0
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.tokens_done / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def kv_hit_rate(self) -> float:
+        total = self.kv_hits + self.kv_misses
+        return self.kv_hits / total if total else 0.0
+
+    def ttft_quantile(self, q: float) -> float:
+        if not self.ttfts:
+            return 0.0
+        return float(np.quantile(np.asarray(self.ttfts), q))
+
+    @property
+    def ttft_p50(self) -> float:
+        return self.ttft_quantile(0.50)
+
+    @property
+    def ttft_p99(self) -> float:
+        return self.ttft_quantile(0.99)
+
+    def summary(self) -> dict:
+        return {
+            "backend": self.backend,
+            "policy": self.policy,
+            "sessions": self.num_sessions,
+            "turns": self.turns_done,
+            "tokens": self.tokens_done,
+            "sim_s": self.elapsed_s,
+            "ttft_p50_ms": self.ttft_p50 * 1e3,
+            "ttft_p99_ms": self.ttft_p99 * 1e3,
+            "tokens_per_s": self.tokens_per_s,
+            "kv_hit_rate": self.kv_hit_rate,
+            "kv_evictions": self.kv_evictions,
+            "overload_retries": self.overload_retries,
+        }
+
+
+class ServingEngine:
+    """Serve one session pool over one backend + KV block store."""
+
+    def __init__(
+        self,
+        platform,
+        backend: StorageBackend,
+        store: KvBlockStore,
+        pool: SessionPool,
+        max_concurrent_decodes: int = 64,
+        prefill_time_per_token: float = 2e-6,
+        decode_time_per_token: float = 100e-6,
+        overlap: Optional[bool] = None,
+        overload_backoff_s: float = 50e-6,
+        max_overload_retries: int = 64,
+    ):
+        if max_concurrent_decodes < 1:
+            raise ConfigurationError(
+                "max_concurrent_decodes must be >= 1"
+            )
+        if prefill_time_per_token < 0 or decode_time_per_token <= 0:
+            raise ConfigurationError(
+                "prefill time must be >= 0 and decode time > 0"
+            )
+        self.platform = platform
+        self.env = platform.env
+        self.backend = backend
+        self.store = store
+        self.pool = pool
+        self.max_concurrent_decodes = max_concurrent_decodes
+        self.prefill_time_per_token = prefill_time_per_token
+        self.decode_time_per_token = decode_time_per_token
+        #: overlap I/O with compute (the async-API advantage); defaults
+        #: to the repo-wide convention: only CAM's API is asynchronous
+        self.overlap = (
+            backend.name == "cam" if overlap is None else overlap
+        )
+        self.overload_backoff_s = overload_backoff_s
+        self.max_overload_retries = max_overload_retries
+        #: CAM context when the backend carries one (CamBackend does);
+        #: each session gets its own device-API handle off it
+        self._cam_context = getattr(backend, "context", None)
+        if backend.name == "cam" and self._cam_context is None:
+            raise ConfigurationError(
+                "cam backend without a CamContext cannot serve"
+            )
+        self._slots = Resource(self.env, capacity=max_concurrent_decodes)
+        self._smetrics: Optional[ServingMetrics] = None
+        self._result: Optional[ServingResult] = None
+
+    # -- the run --------------------------------------------------------
+    def run(self) -> ServingResult:
+        """Drive every session to completion; returns the result."""
+        env = self.env
+        self._smetrics = ServingMetrics.from_env(env)
+        self._result = ServingResult(
+            backend=self.backend.name,
+            policy=self.store.policy.name,
+            num_sessions=len(self.pool),
+        )
+        start = env.now
+        procs = [
+            env.process(self._session(session))
+            for session in self.pool.sessions()
+        ]
+        env.run(env.all_of(procs))
+        result = self._result
+        result.elapsed_s = env.now - start
+        result.kv_hits = self.store.hits
+        result.kv_misses = self.store.misses
+        result.kv_evictions = self.store.evictions
+        return result
+
+    # -- per-session process --------------------------------------------
+    def _session(self, session: Session) -> Generator:
+        env = self.env
+        yield env.timeout(session.arrival_s)
+        smetrics = self._smetrics
+        if smetrics is not None:
+            smetrics.session_started()
+        for turn_index, turn in enumerate(session.turns):
+            if turn_index:
+                yield env.timeout(turn.think_s)
+            arrival = env.now
+            with self._slots.request() as slot:
+                yield slot
+                queue_wait = env.now - arrival
+                if smetrics is not None:
+                    smetrics.decode_started(queue_wait)
+                self._result.queue_waits.append(queue_wait)
+                yield from self._turn(session, turn, arrival)
+                if smetrics is not None:
+                    smetrics.decode_finished()
+        if smetrics is not None:
+            smetrics.session_finished()
+
+    def _turn(self, session: Session, turn: Turn,
+              arrival: float) -> Generator:
+        env = self.env
+        store = self.store
+        sid = session.session_id
+        api = (
+            self._cam_context.device_api()
+            if self._cam_context is not None
+            else None
+        )
+
+        # -- context load: prefetch evicted KV blocks ------------------
+        hits, missing = store.acquire(sid)
+        pinned = list(hits) + [block for block, _ in missing]
+        store.pin(pinned)
+        prefill = turn.prompt_tokens * self.prefill_time_per_token
+        load_procs = []
+        if missing:
+            if api is not None:
+                yield from self._ring(
+                    api.prefetch,
+                    np.asarray([lba for _, lba in missing],
+                               dtype=np.int64),
+                )
+            else:
+                load_procs = [
+                    env.process(
+                        self.backend.io(
+                            lba, store.layout.block_bytes, is_write=False
+                        )
+                    )
+                    for _, lba in missing
+                ]
+            if not self.overlap:
+                # synchronous API: the load finishes before prefill
+                yield from self._wait_load(api, load_procs)
+                load_procs = []
+        if prefill:
+            yield env.timeout(prefill)
+        if missing and self.overlap:
+            yield from self._wait_load(api, load_procs)
+        for block, _ in missing:
+            store.admit(block)
+
+        # -- decode: first token, then block-sized chunks --------------
+        writeback: List[tuple] = []
+        write_procs: List = []
+        cam_wb_pending = False
+        produced = 0
+        writeback.extend(store.append_tokens(sid, turn.prompt_tokens))
+        first_token = True
+        tokens_per_block = store.layout.tokens_per_block
+        while produced < turn.decode_tokens:
+            chunk = min(tokens_per_block, turn.decode_tokens - produced)
+            if first_token:
+                yield env.timeout(self.decode_time_per_token)
+                ttft = env.now - arrival
+                self._result.ttfts.append(ttft)
+                if self._smetrics is not None:
+                    self._smetrics.first_token(ttft)
+                first_token = False
+                if chunk > 1:
+                    yield env.timeout(
+                        (chunk - 1) * self.decode_time_per_token
+                    )
+            else:
+                yield env.timeout(chunk * self.decode_time_per_token)
+            produced += chunk
+            writeback.extend(store.append_tokens(sid, chunk))
+            if writeback:
+                if api is not None:
+                    # drain the previous async batch, ring the next one;
+                    # both overlap with the following decode chunk
+                    if cam_wb_pending:
+                        yield from api.write_back_synchronize()
+                    yield from self._ring(
+                        api.write_back,
+                        np.asarray([lba for _, lba in writeback],
+                                   dtype=np.int64),
+                    )
+                    cam_wb_pending = True
+                elif self.overlap:
+                    write_procs.extend(
+                        env.process(
+                            self.backend.io(
+                                lba, store.layout.block_bytes,
+                                is_write=True,
+                            )
+                        )
+                        for _, lba in writeback
+                    )
+                else:
+                    for _, lba in writeback:
+                        yield from self.backend.io(
+                            lba, store.layout.block_bytes, is_write=True
+                        )
+                writeback = []
+
+        # -- turn end: every produced block durable on SSD -------------
+        if cam_wb_pending:
+            yield from api.write_back_synchronize()
+        if write_procs:
+            yield env.all_of(write_procs)
+        store.unpin(pinned)
+        self._result.turns_done += 1
+        self._result.tokens_done += turn.decode_tokens
+        if self._smetrics is not None:
+            self._smetrics.turn_done(turn.decode_tokens)
+            self._smetrics.store_state(
+                store, env.now, self._result.tokens_done
+            )
+
+    # -- plumbing -------------------------------------------------------
+    def _ring(self, initiate, lbas: np.ndarray) -> Generator:
+        """Issue one CAM batch, re-ringing after admission sheds.
+
+        ``initiate`` is ``api.prefetch`` or ``api.write_back``; a shed
+        surfaces synchronously as :class:`OverloadError` and the engine
+        backs off deterministically (linear, no RNG) before retrying —
+        admission control needs no serving-specific hot-path case.
+        """
+        granularity = self.store.layout.block_bytes
+        for attempt in range(self.max_overload_retries + 1):
+            try:
+                yield from initiate(lbas, None, granularity)
+                return
+            except OverloadError:
+                if attempt >= self.max_overload_retries:
+                    raise
+                self._result.overload_retries += 1
+                if self._smetrics is not None:
+                    self._smetrics.overload_retry()
+                yield self.env.timeout(
+                    self.overload_backoff_s * (attempt + 1)
+                )
+
+    def _wait_load(self, api, load_procs) -> Generator:
+        if api is not None:
+            yield from api.prefetch_synchronize()
+        elif load_procs:
+            yield self.env.all_of(load_procs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServingEngine backend={self.backend.name} "
+            f"sessions={len(self.pool)} overlap={self.overlap}>"
+        )

@@ -1,0 +1,154 @@
+"""Session pool and arrival model for the serving workload.
+
+A :class:`SessionPool` pre-generates every session of a run from one
+seeded :class:`numpy.random.Generator`, so a serving simulation is a
+pure function of ``(SessionConfig, platform)`` — the property every
+bit-identity differential in this repo leans on.
+
+Each :class:`Session` is a conversation: an arrival time (exponential
+inter-arrivals, i.e. a Poisson open-loop arrival process), a prompt
+context length, and one or more :class:`Turn`\\ s.  A turn is
+*think time* (the user reading/typing; the session's KV blocks are
+eviction candidates the whole time), a short follow-up prompt, and a
+decode length.  Lengths are drawn uniformly from closed ranges — wide
+enough to spread sessions across KV-block counts, narrow enough that
+quick-mode runs stay comparable across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Turn:
+    """One request/response exchange within a session."""
+
+    #: seconds the user spends before sending this turn (0 for the first)
+    think_s: float
+    #: prompt tokens appended this turn (the full context on turn 0)
+    prompt_tokens: int
+    #: response tokens to decode
+    decode_tokens: int
+
+
+@dataclass(frozen=True)
+class Session:
+    session_id: int
+    #: simulated seconds after run start when the session arrives
+    arrival_s: float
+    turns: Tuple[Turn, ...]
+
+    @property
+    def total_decode_tokens(self) -> int:
+        return sum(turn.decode_tokens for turn in self.turns)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Knobs of the arrival model (all draws are seed-deterministic)."""
+
+    num_sessions: int = 100
+    seed: int = 17
+    #: session arrivals per simulated second (Poisson process); the
+    #: default spreads the population over ~20 ms of simulated time
+    arrival_rate: float = 5000.0
+    #: mean think time between turns (exponential)
+    mean_think_s: float = 2e-3
+    turns_min: int = 1
+    turns_max: int = 3
+    context_min_tokens: int = 256
+    context_max_tokens: int = 1024
+    prompt_min_tokens: int = 16
+    prompt_max_tokens: int = 64
+    decode_min_tokens: int = 16
+    decode_max_tokens: int = 64
+
+    def __post_init__(self):
+        if self.num_sessions < 1:
+            raise ConfigurationError("num_sessions must be >= 1")
+        if self.arrival_rate <= 0 or self.mean_think_s < 0:
+            raise ConfigurationError(
+                "arrival_rate must be > 0 and mean_think_s >= 0"
+            )
+        for lo, hi, what in (
+            (self.turns_min, self.turns_max, "turns"),
+            (self.context_min_tokens, self.context_max_tokens, "context"),
+            (self.prompt_min_tokens, self.prompt_max_tokens, "prompt"),
+            (self.decode_min_tokens, self.decode_max_tokens, "decode"),
+        ):
+            if not 1 <= lo <= hi:
+                raise ConfigurationError(
+                    f"{what} range [{lo}, {hi}] must satisfy 1 <= min <= max"
+                )
+
+
+class SessionPool:
+    """Deterministically pre-generated sessions for one serving run."""
+
+    def __init__(self, config: SessionConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        arrivals = np.cumsum(
+            rng.exponential(
+                1.0 / config.arrival_rate, size=config.num_sessions
+            )
+        )
+        self._sessions: List[Session] = []
+        for session_id in range(config.num_sessions):
+            num_turns = int(
+                rng.integers(config.turns_min, config.turns_max + 1)
+            )
+            turns = []
+            for turn_index in range(num_turns):
+                think = (
+                    0.0 if turn_index == 0
+                    else float(rng.exponential(config.mean_think_s))
+                )
+                prompt = int(
+                    rng.integers(
+                        config.context_min_tokens,
+                        config.context_max_tokens + 1,
+                    )
+                    if turn_index == 0
+                    else rng.integers(
+                        config.prompt_min_tokens,
+                        config.prompt_max_tokens + 1,
+                    )
+                )
+                decode = int(
+                    rng.integers(
+                        config.decode_min_tokens,
+                        config.decode_max_tokens + 1,
+                    )
+                )
+                turns.append(Turn(think, prompt, decode))
+            self._sessions.append(
+                Session(session_id, float(arrivals[session_id]),
+                        tuple(turns))
+            )
+
+    def sessions(self) -> List[Session]:
+        return list(self._sessions)
+
+    @property
+    def total_turns(self) -> int:
+        return sum(len(s.turns) for s in self._sessions)
+
+    @property
+    def total_decode_tokens(self) -> int:
+        return sum(s.total_decode_tokens for s in self._sessions)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SessionPool {len(self)} sessions, "
+            f"{self.total_turns} turns, seed={self.config.seed}>"
+        )

@@ -179,6 +179,33 @@ def render_sample(
                 f"  {sid:>5}  {sq[sid]:5.0f}  {cq.get(sid, 0):5.0f}  "
                 f"{inflight.get(sid, 0):8.0f}  {state}"
             )
+
+    # serving pane: present only when a ServingEngine run registered
+    # its families (see repro.serving.metrics)
+    if "serving_active_sessions" in snap:
+        active = _scalar(snap, "serving_active_sessions")
+        decoding = _scalar(snap, "serving_decoding_sessions")
+        turns = _scalar(snap, "serving_turns_total")
+        ttft_p99 = _scalar(snap, "serving_ttft_seconds:p99")
+        hit_rate = _scalar(snap, "serving_kv_hit_rate")
+        resident = _scalar(snap, "serving_kv_resident_blocks")
+        tokens = _scalar(snap, "serving_tokens_total")
+        rate = _scalar(snap, "serving_tokens_per_second")
+        if previous is not None and now > previous[0]:
+            # live window rate beats the run-cumulative gauge
+            rate = (
+                tokens - _scalar(previous[1], "serving_tokens_total")
+            ) / (now - previous[0])
+        lines.append("")
+        lines.append(
+            f"  SERVING  sessions {active:5.0f} ({decoding:.0f} "
+            f"decoding)  turns {turns:6.0f}  "
+            f"ttft p99 {ttft_p99 * 1e3:8.3f} ms"
+        )
+        lines.append(
+            f"           tokens/s {rate:10.0f}  kv hit "
+            f"{hit_rate:6.1%}  resident blocks {resident:6.0f}"
+        )
     return "\n".join(lines)
 
 

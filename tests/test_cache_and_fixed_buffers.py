@@ -174,3 +174,37 @@ def test_fixed_buffers_name():
     platform = Platform(PlatformConfig(num_ssds=1), functional=False)
     stack = IoUringStack(platform, poll_mode=True, fixed_buffers=True)
     assert "fixed buffers" in stack.name
+
+
+def test_cache_counters_bridge_into_metrics_registry():
+    """With telemetry installed, the cache mirrors its hit/miss
+    counters (and a hit-rate gauge) into the live registry."""
+    from repro.obs import install_metrics
+
+    platform, cache = _cached()
+    metrics = install_metrics(platform.env)
+
+    def proc():
+        yield from cache.io(0, 4096)   # miss
+        yield from cache.io(0, 4096)   # hit
+        yield from cache.io(64, 4096)  # miss
+
+    _run(platform, proc())
+    snap = metrics.registry.snapshot()
+    assert snap["cam_cache_hits_total"] == cache.hits.total == 1
+    assert snap["cam_cache_misses_total"] == cache.misses.total == 2
+    assert snap["cam_cache_hit_rate"] == pytest.approx(cache.hit_rate())
+
+
+def test_cache_without_metrics_registers_nothing():
+    """Metrics off: the bridge must not touch a registry (null-object
+    contract — pushes are guarded, never reached)."""
+    platform, cache = _cached()
+
+    def proc():
+        yield from cache.io(0, 4096)
+        yield from cache.io(0, 4096)
+
+    _run(platform, proc())
+    assert cache._instruments is None
+    assert not platform.env.metrics.enabled

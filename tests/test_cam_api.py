@@ -216,3 +216,119 @@ def test_reusing_closed_context_as_manager_rejected():
     with pytest.raises(APIUsageError):
         with context:
             pass
+
+
+# -- edge cases: zero-outstanding syncs, overlapping-LBA interleave,
+# -- and error propagation with the reliability bundle attached --------
+
+def test_write_back_synchronize_without_write_back_is_noop():
+    platform, context = _context(functional=False)
+    api = context.device_api()
+
+    def kernel():
+        yield from api.write_back_synchronize()
+        return platform.env.now
+
+    assert platform.env.run(platform.env.process(kernel())) == 0.0
+
+
+def test_second_synchronize_is_noop():
+    """Synchronize clears the pending slot: a second synchronize on an
+    already-drained slot returns immediately without advancing time."""
+    platform, context = _context(functional=False)
+    buffer = context.alloc(64 * KiB)
+    api = context.device_api()
+    lbas = np.arange(4, dtype=np.int64) * 8
+
+    def kernel():
+        yield from api.prefetch(lbas, buffer, 4096)
+        yield from api.prefetch_synchronize()
+        drained_at = platform.env.now
+        yield from api.prefetch_synchronize()
+        assert platform.env.now == drained_at
+        yield from api.write_back(lbas, buffer, 4096)
+        yield from api.write_back_synchronize()
+        drained_at = platform.env.now
+        yield from api.write_back_synchronize()
+        assert platform.env.now == drained_at
+
+    platform.env.run(platform.env.process(kernel()))
+
+
+def test_interleaved_prefetch_write_back_overlapping_lbas():
+    """A prefetch and a write_back over the SAME LBAs may be in flight
+    together — the slots are independent even when the address ranges
+    collide, and both batches complete."""
+    platform, context = _context(functional=False)
+    read_buf = context.alloc(64 * KiB)
+    write_buf = context.alloc(64 * KiB)
+    api = context.device_api()
+    lbas = np.arange(4, dtype=np.int64) * 8
+
+    def kernel():
+        yield from api.write_back(lbas, write_buf, 4096)
+        yield from api.prefetch(lbas, read_buf, 4096)  # same addresses
+        yield from api.prefetch_synchronize()
+        yield from api.write_back_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    assert context.manager.batches_done.total == 2
+
+
+def _reliable_context(num_ssds=2):
+    from repro.hw.faults import FaultInjector
+    from repro.reliability import Reliability
+
+    injector = FaultInjector()
+    platform = Platform(
+        PlatformConfig(num_ssds=num_ssds),
+        functional=False,
+        fault_injector=injector,
+    )
+    context = CamContext(platform, reliability=Reliability(platform))
+    return platform, context, injector
+
+
+def test_prefetch_persistent_fault_raises_from_synchronize():
+    from repro.errors import RetryExhaustedError
+
+    platform, context, injector = _reliable_context()
+    api = context.device_api()
+    lbas = np.arange(8, dtype=np.int64) * 8
+    ssd, local = platform.ssd_for_lba(int(lbas[2]))
+    injector.inject_lba(ssd.ssd_id, local, persistent=True)
+
+    def kernel():
+        yield from api.prefetch(lbas, None, 4096)
+        with pytest.raises(RetryExhaustedError):
+            yield from api.prefetch_synchronize()
+        # the slot was cleared in spite of the failure: the API handle
+        # stays usable for the next batch
+        yield from api.prefetch(np.array([512], dtype=np.int64), None,
+                                4096)
+        yield from api.prefetch_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    max_attempts = context.reliability.policy.max_attempts_read
+    assert context.reliability.retries.total == max_attempts - 1
+
+
+def test_write_back_persistent_fault_raises_from_synchronize():
+    from repro.errors import RetryExhaustedError
+
+    platform, context, injector = _reliable_context()
+    api = context.device_api()
+    lbas = np.arange(8, dtype=np.int64) * 8
+    ssd, local = platform.ssd_for_lba(int(lbas[5]))
+    injector.inject_lba(ssd.ssd_id, local, persistent=True)
+
+    def kernel():
+        yield from api.write_back(lbas, None, 4096)
+        with pytest.raises(RetryExhaustedError):
+            yield from api.write_back_synchronize()
+        yield from api.write_back(np.array([512], dtype=np.int64), None,
+                                  4096)
+        yield from api.write_back_synchronize()
+
+    platform.env.run(platform.env.process(kernel()))
+    assert context.reliability.retries.total >= 1

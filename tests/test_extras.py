@@ -24,6 +24,7 @@ def test_extras_registry():
         "reliability",
         "chaos",
         "elastic",
+        "serving",
     }
 
 

@@ -118,3 +118,55 @@ def test_export_cli_rejects_unknown(tmp_path):
 
     with pytest.raises(SystemExit):
         export_main(["fig99", "--out", str(tmp_path)])
+
+
+# --- cam-top serving pane ----------------------------------------------------
+
+def _serving_sampler(num_sessions=40):
+    from repro.backends.base import make_backend
+    from repro.hw.platform import Platform
+    from repro.obs import MetricsSampler, install_metrics
+    from repro.serving import (
+        KvBlockStore,
+        KvLayout,
+        ServingEngine,
+        SessionConfig,
+        SessionPool,
+    )
+
+    platform = Platform(PlatformConfig(num_ssds=4), functional=False)
+    metrics = install_metrics(platform.env)
+    backend = make_backend("cam", platform)
+    store = KvBlockStore(platform, KvLayout(), capacity_blocks=128)
+    pool = SessionPool(
+        SessionConfig(num_sessions=num_sessions, seed=17,
+                      mean_think_s=5e-3, turns_min=2, turns_max=3)
+    )
+    sampler = MetricsSampler(metrics, interval=500e-6)
+    engine = ServingEngine(platform, backend, store, pool,
+                           max_concurrent_decodes=16)
+    result = engine.run()
+    sampler.stop()
+    sampler.sample_now()
+    return sampler, result
+
+
+def test_cam_top_renders_serving_pane():
+    from repro.tools.top import render_top
+
+    sampler, result = _serving_sampler()
+    screen = render_top(sampler)
+    assert "SERVING" in screen
+    assert f"turns {result.turns_done:6.0f}" in screen
+    assert "ttft p99" in screen
+    assert "tokens/s" in screen
+    assert "kv hit" in screen
+    # all sessions finished by the final sample
+    assert "sessions     0" in screen
+
+
+def test_cam_top_without_serving_has_no_pane():
+    from repro.tools.top import render_top, run_demo
+
+    _, _, sampler = run_demo(batches=2, requests=1024)
+    assert "SERVING" not in render_top(sampler)
