@@ -29,6 +29,11 @@ Measures three layers and writes the results to ``BENCH_perf.json``:
   TTFT p99 beats BaM's at the largest session count, and the
   metrics-instrumented run is simulated-time-identical to the plain
   run.
+* **cache_sweep** — written to ``BENCH_cache.json``: the GPU-memory
+  cache tier (ISSUE 8) on the reuse-heavy graph-sampling and serving
+  workloads, cache-off vs cache-on vs cache+readahead.  Hard gates:
+  cache+readahead CAM throughput >= cache-off CAM on both panels, and
+  the cache-off serving runs end at the exact pre-PR simulated time.
 * **autotune_sweep** — written to ``BENCH_autotune.json``: the fig12
   pipeline loop across compute/I-O mixes under the closed-loop
   :class:`~repro.core.elastic.ElasticController` vs every static core
@@ -97,6 +102,18 @@ SERVING_QUICK_COUNTS = (50, 150, 400)
 #: float slack on the autotuned >= best-static throughput gate — the
 #: tie case (identical simulated runs) must not fail on rounding
 AUTOTUNE_TOLERANCE = 1e-6
+
+#: serving session counts for the GPU-cache sweep (ISSUE 8) and the
+#: pre-PR ``sim_end`` of each cache-off CAM run, measured on commit
+#: 784ef20 — cache-off must stay bit-identical to the pre-cache build
+CACHE_SERVING_SESSIONS = (100, 250)
+CACHE_OFF_SIM_END = {
+    100: 0.14012175802083016,
+    250: 0.17987053305953946,
+}
+
+#: GPU cache size for the serving points (64 KiB KV-block lines)
+CACHE_GPU_BLOCKS = 2048
 
 
 def _best_of(rounds, fn):
@@ -399,6 +416,98 @@ def serving_sweep(session_counts=SERVING_SESSION_COUNTS):
     }
 
 
+def cache_sweep():
+    """The GPU-cache tier on the reuse-heavy workloads (ISSUE 8).
+
+    Two panels, three modes each (``off`` / ``cache`` / ``cache+ra``):
+
+    * **graph** — power-law feature extraction through the CAM plane;
+      throughput is *demand* feature bytes over simulated seconds, so
+      wasted speculation shows up as a loss, not a gain;
+    * **serving** — the KV-cache serving scenario with a GPU cache in
+      front of the prefetch path.
+
+    Hard gates: cache+readahead CAM throughput >= cache-off CAM on
+    both panels, and every cache-off serving run ends at the exact
+    pre-PR simulated time (:data:`CACHE_OFF_SIM_END`) — the cache tier
+    must be a pure no-op when not constructed.
+    """
+    from repro.experiments.gpucache import (
+        FEATURE_BYTES,
+        GRAPH_KWARGS,
+        graph_cache_once,
+    )
+    from repro.experiments.serving import serve_once
+
+    graph = {}
+    for mode in ("off", "cache", "cache+ra"):
+        t0 = time.perf_counter()
+        summary, sim_end = graph_cache_once(mode)
+        graph[mode] = {
+            "wall_s": round(time.perf_counter() - t0, 3),
+            "sim_end": sim_end,
+            "bytes_per_s": round(summary["bytes_per_s"], 1),
+            "hit_rate": round(summary["hit_rate"], 4),
+            "readahead_issued": summary["readahead_issued"],
+            "readahead_used": summary["readahead_used"],
+            "readahead_accuracy": round(
+                summary["readahead_accuracy"], 4
+            ),
+        }
+    graph_gate = (
+        graph["cache+ra"]["bytes_per_s"] >= graph["off"]["bytes_per_s"]
+    )
+
+    serving_points = []
+    serving_gate = True
+    bit_identical = True
+    for sessions in CACHE_SERVING_SESSIONS:
+        row = {"sessions": sessions, "modes": {}}
+        for mode, kwargs in (
+            ("off", {}),
+            ("cache", dict(gpu_cache_blocks=CACHE_GPU_BLOCKS,
+                           readahead=False)),
+            ("cache+ra", dict(gpu_cache_blocks=CACHE_GPU_BLOCKS,
+                              readahead=True)),
+        ):
+            t0 = time.perf_counter()
+            run, sim_end = serve_once("cam", sessions, **kwargs)
+            row["modes"][mode] = {
+                "wall_s": round(time.perf_counter() - t0, 3),
+                "sim_end": sim_end,
+                "tokens_per_s": round(run.tokens_per_s, 1),
+                "ttft_p99_ms": round(run.ttft_p99 * 1e3, 4),
+                "kv_hit_rate": round(run.kv_hit_rate, 4),
+            }
+        identical = (
+            row["modes"]["off"]["sim_end"] == CACHE_OFF_SIM_END[sessions]
+        )
+        row["cache_off_sim_end_expected"] = CACHE_OFF_SIM_END[sessions]
+        row["cache_off_sim_end_identical"] = identical
+        bit_identical = bit_identical and identical
+        serving_gate = serving_gate and (
+            row["modes"]["cache+ra"]["tokens_per_s"]
+            >= row["modes"]["off"]["tokens_per_s"]
+        )
+        serving_points.append(row)
+
+    return {
+        "graph_workload": {
+            **GRAPH_KWARGS,
+            "feature_bytes": FEATURE_BYTES,
+            "points": graph,
+        },
+        "serving_workload": {
+            "gpu_cache_blocks": CACHE_GPU_BLOCKS,
+            "points": serving_points,
+        },
+        "graph_readahead_beats_off": graph_gate,
+        "serving_readahead_beats_off": serving_gate,
+        "cache_off_bit_identical": bit_identical,
+        "target_met": graph_gate and serving_gate and bit_identical,
+    }
+
+
 # -- harness ---------------------------------------------------------------
 
 def _git_commit():
@@ -453,6 +562,15 @@ def main(argv=None):
         help="reduced serving session counts "
         f"{SERVING_QUICK_COUNTS} instead of {SERVING_SESSION_COUNTS}",
     )
+    parser.add_argument(
+        "--cache-output", default="BENCH_cache.json",
+        help="where to write the GPU-cache sweep "
+        "(default: ./BENCH_cache.json)",
+    )
+    parser.add_argument(
+        "--only-cache", action="store_true",
+        help="run only the GPU-cache sweep (the CI cache job)",
+    )
     args = parser.parse_args(argv)
 
     def run_autotune():
@@ -497,11 +615,40 @@ def main(argv=None):
         print(f"wrote {serving_output}")
         return serving
 
+    def run_cache():
+        print("== cache sweep (GPU cache tier + readahead) ==")
+        cache = cache_sweep()
+        for mode, cell in cache["graph_workload"]["points"].items():
+            print(
+                f"  graph {mode:9s} {cell['bytes_per_s'] / 1e9:6.2f} "
+                f"GB/s  hit {cell['hit_rate']:6.1%}  readahead "
+                f"{cell['readahead_used']}/{cell['readahead_issued']}"
+            )
+        for point in cache["serving_workload"]["points"]:
+            cells = "  ".join(
+                f"{mode} {cell['tokens_per_s']:9.1f} tok/s"
+                for mode, cell in point["modes"].items()
+            )
+            print(f"  serve {point['sessions']:4d} sessions  {cells}")
+        print(f"  cache+ra >= off (graph): "
+              f"{cache['graph_readahead_beats_off']}")
+        print(f"  cache+ra >= off (serving): "
+              f"{cache['serving_readahead_beats_off']}")
+        print(f"  cache-off bit-identical to pre-PR: "
+              f"{cache['cache_off_bit_identical']}")
+        cache_output = Path(args.cache_output)
+        cache_output.write_text(json.dumps(cache, indent=2) + "\n")
+        print(f"wrote {cache_output}")
+        return cache
+
     if args.only_autotune:
         return 0 if run_autotune()["target_met"] else 1
 
     if args.only_serving:
         return 0 if run_serving()["target_met"] else 1
+
+    if args.only_cache:
+        return 0 if run_cache()["target_met"] else 1
 
     results = {
         "meta": {
@@ -674,17 +821,21 @@ def main(argv=None):
     serving = run_serving()
     results["serving_sweep"] = serving
 
+    cache = run_cache()
+    results["cache_sweep"] = cache
+
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
     # metrics_sweep is advisory (the CI telemetry job soft-gates on it);
-    # the batch, reliability, autotune and serving sweeps decide the
-    # exit code
+    # the batch, reliability, autotune, serving and cache sweeps decide
+    # the exit code
     return 0 if (
         sweep["target_met"]
         and reliable["target_met"]
         and auto["target_met"]
         and serving["target_met"]
+        and cache["target_met"]
     ) else 1
 
 

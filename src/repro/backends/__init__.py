@@ -11,7 +11,7 @@ from repro.backends.base import (
     make_backend,
     measure_throughput,
 )
-from repro.backends.cache import CachedBackend
+from repro.backends.cache import CacheCompletion, CachedBackend
 from repro.backends.planes import (
     BamBackend,
     CamBackend,
@@ -21,6 +21,7 @@ from repro.backends.planes import (
 )
 __all__ = [
     "BamBackend",
+    "CacheCompletion",
     "CachedBackend",
     "CamBackend",
     "GdsBackend",

@@ -18,12 +18,35 @@ never observe stale data.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generator, Optional
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
 
 from repro.backends.base import StorageBackend
 from repro.errors import ConfigurationError
-from repro.hw.nvme import CQE
 from repro.sim.stats import Counter
+
+
+@dataclass
+class CacheCompletion:
+    """Typed completion for requests fully served from the cache.
+
+    Device completions are :class:`~repro.hw.nvme.CQE` objects whose
+    ``command_id`` keys completion dispatchers and watchdogs; a cache
+    hit never had a device command.  It used to be faked with the
+    sentinel ``CQE(command_id=-1)`` — callers keying on ``command_id``
+    (the blockio/SPDK/BaM dispatchers, coalesced-group owners) only ever
+    see ids minted from real SQEs, but the sentinel could still collide
+    in any future map keyed by completion id.  ``command_id`` is
+    ``None`` here so an accidental lookup fails loudly instead.
+    """
+
+    pages: int = 0
+    nbytes: int = 0
+    status: int = 0
+    complete_time: float = 0.0
+    command_id: Optional[int] = None
+    source: str = "host-cache"
+    value: Any = None
 
 
 class CachedBackend(StorageBackend):
@@ -130,9 +153,11 @@ class CachedBackend(StorageBackend):
             for page in pages:
                 if self._cached(page):
                     self._touch(page)
+            self._publish()
             return cqe
 
-        if all(self._cached(page) for page in pages):
+        missing = [page for page in pages if not self._cached(page)]
+        if not missing:
             self.hits.add(len(pages))
             self._publish()
             for page in pages:
@@ -141,17 +166,40 @@ class CachedBackend(StorageBackend):
             yield from self.platform.dram.access(nbytes)
             if self.to_gpu:
                 yield from self.platform.gpu.memcpy(nbytes)
-            return CQE(command_id=-1)
+            return CacheCompletion(
+                pages=len(pages),
+                nbytes=nbytes,
+                complete_time=self.env.now,
+            )
 
-        self.misses.add(len(pages))
+        # partial or full miss: hits and misses counted per page, and
+        # only the contiguous span covering the missing pages (clipped
+        # to the request) is charged to the inner backend
+        self.hits.add(len(pages) - len(missing))
+        self.misses.add(len(missing))
         self._publish()
+        block = self.platform.config.ssd.block_size
+        start_byte = lba * block
+        end_byte = start_byte + nbytes
+        span_start = max(start_byte, missing[0] * self.page_bytes)
+        span_lba = span_start // block
+        span_start = span_lba * block
+        span_end = min(end_byte, (missing[-1] + 1) * self.page_bytes)
+        span_nbytes = span_end - span_start
         cqe = yield from self.inner.io(
-            lba, nbytes, is_write=False, payload=payload,
-            target=target, target_offset=target_offset,
+            span_lba, span_nbytes, is_write=False, payload=payload,
+            target=target,
+            target_offset=target_offset + (span_start - start_byte),
             ssd_index=ssd_index,
         )
         # admission costs one DRAM crossing for the staged copy
-        yield from self.platform.dram.access(nbytes)
+        yield from self.platform.dram.access(span_nbytes)
+        hit_bytes = nbytes - span_nbytes
+        if hit_bytes > 0:
+            # the resident edges are served like a hit
+            yield from self.platform.dram.access(hit_bytes)
+            if self.to_gpu:
+                yield from self.platform.gpu.memcpy(hit_bytes)
         for page in pages:
             self._touch(page)
         return cqe

@@ -1,0 +1,27 @@
+"""GPU-memory cache tier with readahead prefetching (see
+docs/CACHING.md).
+
+* :class:`GpuCache` — fixed-size cache lines in GPU DRAM, plan/commit
+  access protocol, per-consumer readahead, ``cam_gpucache_*`` metrics;
+* :class:`GpuCachedBackend` — the tier as a drop-in
+  :class:`~repro.backends.base.StorageBackend` wrapper;
+* :mod:`repro.cache.policy` — pluggable line replacement (LRU/FIFO);
+* :mod:`repro.cache.readahead` — the stride detector + accuracy loop.
+"""
+
+from repro.cache.backend import GpuCacheCompletion, GpuCachedBackend
+from repro.cache.gpucache import CachePlan, GpuCache
+from repro.cache.policy import FifoLines, LruLines, make_line_policy
+from repro.cache.readahead import ReadaheadConfig, ReadaheadStream
+
+__all__ = [
+    "CachePlan",
+    "FifoLines",
+    "GpuCache",
+    "GpuCacheCompletion",
+    "GpuCachedBackend",
+    "LruLines",
+    "ReadaheadConfig",
+    "ReadaheadStream",
+    "make_line_policy",
+]

@@ -1,0 +1,143 @@
+""":class:`GpuCachedBackend` — the GPU cache tier as a drop-in backend.
+
+Wraps any :class:`~repro.backends.base.StorageBackend` the way the host
+:class:`~repro.backends.cache.CachedBackend` does, but with the cache
+lines in **GPU** DRAM: a hit costs one HBM crossing instead of a DRAM
+staging copy plus a PCIe hop, and readahead predictions ride a
+*background* speculative fetch so the demand request never waits on
+them.  When the inner backend is CAM, speculation uses a dedicated
+:class:`~repro.core.api.CamDeviceAPI` handle (a real
+``prefetch``/``prefetch_synchronize`` batch down the async path — the
+paper's Table II interface); for any other plane it falls back to
+per-line backend reads.
+
+Speculative fetches are best-effort by design: an
+:class:`~repro.errors.OverloadError` shed or a storage error aborts the
+speculation (the charged readahead counters keep the waste visible to
+the accuracy loop) without ever failing the demand request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.backends.base import StorageBackend
+from repro.cache.gpucache import CachePlan, GpuCache
+from repro.errors import ReproError
+
+
+@dataclass
+class GpuCacheCompletion:
+    """Typed completion for requests fully served from the GPU cache.
+
+    Real device completions are :class:`~repro.hw.nvme.CQE` objects whose
+    ``command_id`` keys dispatchers and watchdogs; a cache hit has no
+    device command, so it gets its own type (``command_id`` is ``None``,
+    never a magic sentinel) — anything accidentally keying on it fails
+    loudly instead of colliding with a live id.
+    """
+
+    lines: int = 0
+    nbytes: int = 0
+    status: int = 0
+    complete_time: float = 0.0
+    command_id: Optional[int] = None
+    source: str = "gpu-cache"
+    value: Any = None
+
+
+class GpuCachedBackend(StorageBackend):
+    """GPU-memory cache in front of another backend."""
+
+    def __init__(self, inner: StorageBackend, cache: GpuCache):
+        super().__init__(inner.platform, reliability=inner.reliability)
+        self.inner = inner
+        self.model_name = inner.model_name
+        self.cache = cache
+        # CAM inner planes expose the batch API; speculation prefers it
+        self._context = getattr(inner, "context", None)
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+gpucache"
+
+    # -- speculation ----------------------------------------------------
+    def _speculate(self, plan: CachePlan) -> Generator:
+        """Background process: fetch the plan's readahead lines."""
+        cache = self.cache
+        try:
+            if self._context is not None:
+                api = self._context.device_api()
+                lbas = np.asarray(plan.speculative_lbas, dtype=np.int64)
+                yield from api.prefetch(lbas, None, cache.line_bytes)
+                yield from api.prefetch_synchronize()
+            else:
+                procs = [
+                    self.env.process(
+                        self.inner.io(lba, cache.line_bytes)
+                    )
+                    for lba in plan.speculative_lbas
+                ]
+                yield self.env.all_of(procs)
+        except ReproError:
+            # shed by admission control or failed on the media: drop the
+            # speculation; the issued charge stays so accuracy sees it
+            cache.abort_speculative(plan)
+            return
+        cache.commit_speculative(plan)
+
+    # -- the data path --------------------------------------------------
+    def io(
+        self,
+        lba: int,
+        nbytes: int,
+        is_write: bool = False,
+        payload=None,
+        target=None,
+        target_offset: int = 0,
+        ssd_index: Optional[int] = None,
+    ) -> Generator:
+        cache = self.cache
+        if is_write:
+            cqe = yield from self.inner.io(
+                lba, nbytes, is_write=True, payload=payload,
+                target=target, target_offset=target_offset,
+                ssd_index=ssd_index,
+            )
+            # the written bytes are already in GPU memory: admit fully
+            # covered lines so the read-after-write is a hit
+            cache.fill([lba], granularity=nbytes)
+            return cqe
+
+        plan = cache.access_span(lba, nbytes, consumer=0)
+        if plan.speculative_lines:
+            self.env.process(self._speculate(plan))
+        if plan.all_hit:
+            # everything resident: one HBM crossing, no device command
+            yield self.env.timeout(cache.hit_seconds(nbytes))
+            cache.commit_demand(plan)
+            return GpuCacheCompletion(
+                lines=len(plan.hit_lines),
+                nbytes=nbytes,
+                complete_time=self.env.now,
+            )
+        try:
+            cqe = yield from self.inner.io(
+                plan.fetch_lba,
+                plan.fetch_nbytes,
+                is_write=False,
+                payload=payload,
+                target=target,
+                target_offset=target_offset + plan.fetch_offset_bytes,
+                ssd_index=ssd_index,
+            )
+        except ReproError:
+            cache.abort_demand(plan)
+            raise
+        if plan.hit_bytes:
+            yield self.env.timeout(cache.hit_seconds(plan.hit_bytes))
+        cache.commit_demand(plan)
+        return cqe

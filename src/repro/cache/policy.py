@@ -1,0 +1,95 @@
+"""Replacement policies for the GPU-memory cache tier.
+
+A policy owns the *order* in which resident cache lines become eviction
+victims; the :class:`~repro.cache.gpucache.GpuCache` owns everything
+else (capacity accounting, speculative marks, metrics).  The contract is
+deliberately tiny so new policies (CLOCK, S3-FIFO, ...) are a few lines:
+
+* :meth:`admit` — a line became resident;
+* :meth:`touch` — a resident line was accessed;
+* :meth:`evict` — pop and return the next victim;
+* :meth:`discard` — a line left the cache outside the eviction path.
+
+Policies are pure Python-container state: they never touch the event
+heap, so a cache-instrumented run stays bit-identical when the cache
+itself is not on the simulated data path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.errors import ConfigurationError
+
+
+class LruLines:
+    """Evict the least-recently-used line (the BaM software-cache
+    default)."""
+
+    name = "lru"
+
+    def __init__(self):
+        #: resident lines in recency order (end = most recently used)
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._lines)
+
+    def admit(self, line: int) -> None:
+        self._lines[line] = None
+        self._lines.move_to_end(line)
+
+    def touch(self, line: int) -> None:
+        self._lines.move_to_end(line)
+
+    def evict(self) -> Optional[int]:
+        if not self._lines:
+            return None
+        line, _ = self._lines.popitem(last=False)
+        return line
+
+    def discard(self, line: int) -> None:
+        self._lines.pop(line, None)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {len(self)} lines>"
+
+
+class FifoLines(LruLines):
+    """Evict in admission order, ignoring recency.
+
+    Cheaper bookkeeping than LRU (no move-to-end on every access) and —
+    on streaming scans that never re-reference — identical behaviour,
+    which is why readahead-heavy GPU file-system caches often prefer it.
+    """
+
+    name = "fifo"
+
+    def admit(self, line: int) -> None:
+        # keep the original queue position on re-admission
+        if line not in self._lines:
+            self._lines[line] = None
+
+    def touch(self, line: int) -> None:
+        pass
+
+
+_POLICIES = {"lru": LruLines, "fifo": FifoLines}
+
+
+def make_line_policy(name: str) -> LruLines:
+    """Construct a replacement policy by name (``lru`` / ``fifo``)."""
+    factory = _POLICIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown cache line policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        )
+    return factory()

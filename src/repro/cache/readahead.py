@@ -1,0 +1,152 @@
+"""Sequential/strided readahead detection for the GPU cache tier.
+
+Grounded in "A readahead prefetcher for GPU file system layer"
+(PAPERS.md): the prefetcher watches each consumer's *demand* access
+stream at cache-line granularity, and once it sees ``min_run``
+consecutive accesses with the same non-zero stride it predicts the next
+``depth`` lines of the pattern.  The cache turns those predictions into
+speculative fetches riding CAM's existing asynchronous prefetch path.
+
+Every stream also carries its own **accuracy loop**: issued speculative
+lines are counted against the ones a later demand access actually used,
+and a stream whose accuracy falls below ``min_accuracy`` (after an
+initial ``probation`` of issued lines) stops predicting for ``cooldown``
+observations, then starts a fresh probation window — so a mispredicted
+stream throttles itself instead of polluting the cache.
+
+Pure-arithmetic state: nothing here touches the event heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReadaheadConfig:
+    """Tuning knobs for the per-stream detector."""
+
+    #: speculative lines predicted per confirmed pattern observation
+    depth: int = 4
+    #: consecutive same-stride accesses before the pattern is trusted;
+    #: deliberately high — dedup'd access streams (sorted unique node
+    #: sets) are full of short accidental runs that are not patterns
+    min_run: int = 6
+    #: used/issued floor below which a stream throttles itself
+    min_accuracy: float = 0.25
+    #: issued lines before the accuracy floor is enforced at all
+    probation: int = 16
+    #: observations a throttled stream sits out before a fresh window;
+    #: long relative to one batch so a misbehaving stream re-probes
+    #: once per few batches, not many times within one
+    cooldown: int = 1024
+
+    def __post_init__(self):
+        if self.depth < 1:
+            raise ConfigurationError("readahead depth must be >= 1")
+        if self.min_run < 2:
+            raise ConfigurationError(
+                "min_run must be >= 2 (one access has no stride)"
+            )
+        if not 0.0 <= self.min_accuracy <= 1.0:
+            raise ConfigurationError("min_accuracy must be in [0, 1]")
+        if self.probation < 1 or self.cooldown < 1:
+            raise ConfigurationError(
+                "probation and cooldown must be >= 1"
+            )
+
+
+class ReadaheadStream:
+    """Detector + accuracy state for one consumer's access stream."""
+
+    def __init__(self, config: ReadaheadConfig):
+        self.config = config
+        self._last_line: Optional[int] = None
+        self._stride = 0
+        #: accesses in a row that confirmed the current stride
+        self._run = 0
+        #: speculative lines this stream caused to be fetched
+        self.issued = 0
+        #: issued lines a later demand access actually consumed
+        self.used = 0
+        #: observations left to sit out after an accuracy violation
+        self._cooldown_left = 0
+        #: accuracy-violation throttle events (for telemetry)
+        self.throttles = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.used / self.issued if self.issued else 1.0
+
+    @property
+    def throttled(self) -> bool:
+        return self._cooldown_left > 0
+
+    def observe(self, line: int) -> List[int]:
+        """Feed one demand access; returns the lines to read ahead.
+
+        The returned candidates are *predictions only* — the cache
+        filters out lines that are already resident or in flight and
+        reports back how many were genuinely issued via :meth:`charge`.
+        """
+        predictions: List[int] = []
+        if self._last_line is not None:
+            stride = line - self._last_line
+            if stride == 0:
+                # a repeat neither confirms nor breaks the pattern
+                self._last_line = line
+                return predictions
+            if stride == self._stride:
+                self._run += 1
+            else:
+                self._stride = stride
+                self._run = 1
+        self._last_line = line
+        if self._throttle_tick():
+            return predictions
+        if self._run + 1 >= self.config.min_run:
+            predictions = [
+                line + self._stride * k
+                for k in range(1, self.config.depth + 1)
+            ]
+        return predictions
+
+    def charge(self, issued: int) -> None:
+        """Record that ``issued`` of the last predictions were fetched."""
+        self.issued += issued
+
+    def credit(self, used: int = 1) -> None:
+        """Record that a demand access consumed a speculative line."""
+        self.used += used
+
+    # -- the accuracy loop ----------------------------------------------
+    def _throttle_tick(self) -> bool:
+        """One observation's worth of throttle bookkeeping; True while
+        the stream must not predict."""
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            if self._cooldown_left == 0:
+                # fresh probation window: past mispredictions stay in
+                # the cache-wide totals but no longer gate this stream
+                self.issued = 0
+                self.used = 0
+            return True
+        config = self.config
+        if (
+            self.issued >= config.probation
+            and self.used < config.min_accuracy * self.issued
+        ):
+            self._cooldown_left = config.cooldown
+            self.throttles += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        state = "throttled" if self.throttled else f"stride={self._stride}"
+        return (
+            f"<ReadaheadStream {state} run={self._run} "
+            f"acc={self.accuracy:.2f} ({self.used}/{self.issued})>"
+        )

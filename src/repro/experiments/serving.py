@@ -55,13 +55,19 @@ def serve_once(
     metrics: bool = False,
     capacity_blocks: int = CAPACITY_BLOCKS,
     reliability: bool = False,
+    gpu_cache_blocks: int = 0,
+    readahead: bool = True,
 ) -> Tuple[ServingResult, float]:
     """One serving run; returns ``(result, sim_end)``.
 
     ``sim_end`` is the environment clock after the run — the value the
     bench harness compares across metrics-on/off runs for bit identity.
     ``reliability`` attaches the full PR-4 bundle (retries, breakers,
-    watchdogs) to the backend.
+    watchdogs) to the backend.  ``gpu_cache_blocks`` > 0 puts a
+    GPU-memory cache tier (lines sized to the KV block) in front of the
+    storage path; ``readahead`` toggles its prefetcher.  The default
+    (``0``) keeps the engine's event sequence bit-identical to pre-cache
+    builds.
     """
     platform = Platform(
         PlatformConfig(num_ssds=NUM_SSDS), functional=False
@@ -76,16 +82,28 @@ def serve_once(
 
         backend_kwargs["reliability"] = Reliability(platform)
     backend = make_backend(backend_name, platform, **backend_kwargs)
+    layout = KvLayout()
     store = KvBlockStore(
-        platform, KvLayout(), capacity_blocks=capacity_blocks,
+        platform, layout, capacity_blocks=capacity_blocks,
         policy=policy,
     )
     pool = SessionPool(
         SessionConfig(num_sessions=num_sessions, **SESSION_KWARGS)
     )
+    gpu_cache = None
+    if gpu_cache_blocks:
+        from repro.cache import GpuCache
+
+        gpu_cache = GpuCache(
+            platform,
+            capacity_bytes=gpu_cache_blocks * layout.block_bytes,
+            line_bytes=layout.block_bytes,
+            readahead=readahead,
+        )
     engine = ServingEngine(
         platform, backend, store, pool,
         max_concurrent_decodes=MAX_CONCURRENT_DECODES,
+        gpu_cache=gpu_cache,
     )
     result = engine.run()
     return result, platform.env.now

@@ -50,6 +50,11 @@ class MetricsSampler:
         Individually attached sources for workloads that bypass the
         manager (raw :class:`~repro.spdk.driver.SpdkDriver` runs, the
         kernel stacks, a :class:`~repro.backends.cache.CachedBackend`).
+    gpu_cache:
+        A :class:`~repro.cache.gpucache.GpuCache` to pull the
+        ``cam_gpucache_*`` families from (the GPU cache also pushes on
+        its own hot path; the pull keeps snapshots fresh between
+        accesses).
     max_samples:
         History ring size; older samples fall off the front.
     autostart:
@@ -66,6 +71,7 @@ class MetricsSampler:
         reliability=None,
         admission=None,
         cache=None,
+        gpu_cache=None,
         max_samples: int = 4096,
         autostart: bool = True,
     ):
@@ -90,6 +96,7 @@ class MetricsSampler:
             manager.admission if manager else None
         )
         self.cache = cache
+        self.gpu_cache = gpu_cache
         #: ``(sim_time, flat_snapshot)`` ring — the live series the SLO
         #: monitor and cam-top read
         self.history: deque = deque(maxlen=max_samples)
@@ -324,6 +331,11 @@ class MetricsSampler:
             self._g_hit_rate.child().set(cache.hit_rate())
             self._c_hits.child().set_total(cache.hits.total)
             self._c_misses.child().set_total(cache.misses.total)
+        gpu_cache = self.gpu_cache
+        if gpu_cache is not None:
+            # the GPU cache owns its cam_gpucache_* families; the pull
+            # just forces a refresh so snapshots are never stale
+            gpu_cache.publish()
         if self.manager is not None:
             self._g_inbox.child().set(len(self.manager._inbox))
         tracer = self.env.tracer

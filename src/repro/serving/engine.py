@@ -38,7 +38,8 @@ from typing import Generator, List, Optional
 import numpy as np
 
 from repro.backends.base import StorageBackend
-from repro.errors import ConfigurationError, OverloadError
+from repro.cache.gpucache import GpuCache
+from repro.errors import ConfigurationError, OverloadError, ReproError
 from repro.serving.kvstore import KvBlockStore
 from repro.serving.metrics import ServingMetrics
 from repro.serving.sessions import Session, SessionPool, Turn
@@ -117,6 +118,7 @@ class ServingEngine:
         overlap: Optional[bool] = None,
         overload_backoff_s: float = 50e-6,
         max_overload_retries: int = 64,
+        gpu_cache: Optional[GpuCache] = None,
     ):
         if max_concurrent_decodes < 1:
             raise ConfigurationError(
@@ -141,6 +143,17 @@ class ServingEngine:
         )
         self.overload_backoff_s = overload_backoff_s
         self.max_overload_retries = max_overload_retries
+        #: optional GPU-memory cache tier (``None`` keeps the engine's
+        #: event sequence byte-for-byte identical to the pre-cache path)
+        self.gpu_cache = gpu_cache
+        if (
+            gpu_cache is not None
+            and gpu_cache.line_bytes != store.layout.block_bytes
+        ):
+            raise ConfigurationError(
+                f"gpu cache line ({gpu_cache.line_bytes}B) must match "
+                f"the KV block ({store.layout.block_bytes}B)"
+            )
         #: CAM context when the backend carries one (CamBackend does);
         #: each session gets its own device-API handle off it
         self._cam_context = getattr(backend, "context", None)
@@ -215,32 +228,70 @@ class ServingEngine:
         store.pin(pinned)
         prefill = turn.prompt_tokens * self.prefill_time_per_token
         load_procs = []
-        if missing:
-            if api is not None:
-                yield from self._ring(
-                    api.prefetch,
-                    np.asarray([lba for _, lba in missing],
-                               dtype=np.int64),
-                )
-            else:
-                load_procs = [
-                    env.process(
-                        self.backend.io(
-                            lba, store.layout.block_bytes, is_write=False
-                        )
+        cache = self.gpu_cache
+        plan = None
+        fetch_lbas = [lba for _, lba in missing]
+        if missing and cache is not None:
+            # GPU-cache-resident blocks never reach the SSD path: one
+            # HBM crossing instead of a prefetch; readahead candidates
+            # go down the async path in a background batch so the
+            # demand load never waits on speculation
+            plan = cache.access_batch(
+                fetch_lbas,
+                granularity=store.layout.block_bytes,
+                consumer=sid,
+            )
+            if plan.speculative_lbas:
+                env.process(self._speculate(plan))
+            if plan.hit_lbas:
+                yield env.timeout(cache.hit_seconds(
+                    len(plan.hit_lbas) * store.layout.block_bytes
+                ))
+                hit_set = set(plan.hit_lbas)
+                for block, lba in missing:
+                    if lba in hit_set:
+                        store.admit(block)
+            fetch_lbas = plan.missing_lbas
+        pending_load = bool(fetch_lbas)
+        try:
+            if fetch_lbas:
+                if api is not None:
+                    yield from self._ring(
+                        api.prefetch,
+                        np.asarray(fetch_lbas, dtype=np.int64),
                     )
-                    for _, lba in missing
-                ]
-            if not self.overlap:
-                # synchronous API: the load finishes before prefill
+                else:
+                    load_procs = [
+                        env.process(
+                            self.backend.io(
+                                lba, store.layout.block_bytes,
+                                is_write=False,
+                            )
+                        )
+                        for lba in fetch_lbas
+                    ]
+                if not self.overlap:
+                    # synchronous API: the load finishes before prefill
+                    yield from self._wait_load(api, load_procs)
+                    load_procs = []
+                    pending_load = False
+            if prefill:
+                yield env.timeout(prefill)
+            if pending_load and self.overlap:
                 yield from self._wait_load(api, load_procs)
-                load_procs = []
-        if prefill:
-            yield env.timeout(prefill)
-        if missing and self.overlap:
-            yield from self._wait_load(api, load_procs)
-        for block, _ in missing:
-            store.admit(block)
+        except ReproError:
+            if plan is not None:
+                cache.abort_demand(plan)
+            raise
+        if plan is not None:
+            cache.commit_demand(plan)
+            hit_set = set(plan.hit_lbas)
+            for block, lba in missing:
+                if lba not in hit_set:
+                    store.admit(block)
+        else:
+            for block, _ in missing:
+                store.admit(block)
 
         # -- decode: first token, then block-sized chunks --------------
         writeback: List[tuple] = []
@@ -268,6 +319,12 @@ class ServingEngine:
             produced += chunk
             writeback.extend(store.append_tokens(sid, chunk))
             if writeback:
+                if cache is not None:
+                    # produced on the GPU: read-after-write is a hit
+                    cache.fill(
+                        [lba for _, lba in writeback],
+                        granularity=store.layout.block_bytes,
+                    )
                 if api is not None:
                     # drain the previous async batch, ring the next one;
                     # both overlap with the following decode chunk
@@ -311,6 +368,39 @@ class ServingEngine:
             )
 
     # -- plumbing -------------------------------------------------------
+    def _speculate(self, plan) -> Generator:
+        """Background process: fetch a plan's readahead blocks.
+
+        Best-effort by design — a shed or storage error drops the
+        speculation (charged readahead counters keep the waste visible
+        to the accuracy loop) and never fails the serving turn.
+        """
+        cache = self.gpu_cache
+        try:
+            if self._cam_context is not None:
+                api = self._cam_context.device_api()
+                yield from api.prefetch(
+                    np.asarray(plan.speculative_lbas, dtype=np.int64),
+                    None,
+                    self.store.layout.block_bytes,
+                )
+                yield from api.prefetch_synchronize()
+            else:
+                procs = [
+                    self.env.process(
+                        self.backend.io(
+                            lba, self.store.layout.block_bytes,
+                            is_write=False,
+                        )
+                    )
+                    for lba in plan.speculative_lbas
+                ]
+                yield self.env.all_of(procs)
+        except ReproError:
+            cache.abort_speculative(plan)
+            return
+        cache.commit_speculative(plan)
+
     def _ring(self, initiate, lbas: np.ndarray) -> Generator:
         """Issue one CAM batch, re-ringing after admission sheds.
 

@@ -206,6 +206,30 @@ def render_sample(
             f"           tokens/s {rate:10.0f}  kv hit "
             f"{hit_rate:6.1%}  resident blocks {resident:6.0f}"
         )
+
+    # gpu-cache pane: present only when a GpuCache published its
+    # families (see repro.cache.gpucache)
+    if "cam_gpucache_hits_total" in snap:
+        g_hits = _scalar(snap, "cam_gpucache_hits_total")
+        g_misses = _scalar(snap, "cam_gpucache_misses_total")
+        g_rate = _scalar(snap, "cam_gpucache_hit_rate")
+        g_lines = _scalar(snap, "cam_gpucache_resident_lines")
+        g_evict = _scalar(snap, "cam_gpucache_evictions_total")
+        ra_issued = _scalar(snap, "cam_gpucache_readahead_issued_total")
+        ra_used = _scalar(snap, "cam_gpucache_readahead_used_total")
+        ra_acc = _scalar(snap, "cam_gpucache_readahead_accuracy")
+        throttled = _scalar(snap, "cam_gpucache_throttled_streams")
+        lines.append("")
+        lines.append(
+            f"  GPUCACHE hit {g_rate:6.1%} ({g_hits:.0f}/"
+            f"{g_hits + g_misses:.0f})  lines {g_lines:6.0f}  "
+            f"evictions {g_evict:6.0f}"
+        )
+        lines.append(
+            f"           readahead {ra_used:.0f}/{ra_issued:.0f} used "
+            f"(accuracy {ra_acc:6.1%})  throttled streams "
+            f"{throttled:.0f}"
+        )
     return "\n".join(lines)
 
 

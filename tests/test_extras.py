@@ -25,6 +25,7 @@ def test_extras_registry():
         "chaos",
         "elastic",
         "serving",
+        "gpucache",
     }
 
 
