@@ -34,6 +34,13 @@ Measures three layers and writes the results to ``BENCH_perf.json``:
   workloads, cache-off vs cache-on vs cache+readahead.  Hard gates:
   cache+readahead CAM throughput >= cache-off CAM on both panels, and
   the cache-off serving runs end at the exact pre-PR simulated time.
+* **disagg_sweep** — written to ``BENCH_disagg.json``: the
+  disaggregated flash tier (ISSUE 9) on the cache-friendly zipfian
+  workload, local-only vs remote-direct vs tiered, plus a fabric
+  partition under mixed traffic.  Hard gates: tiered goodput >= 80 %
+  of local-only, the partition never hangs or loses an acked write,
+  and ``batch_sweep(True)`` with the disagg stack unused replays the
+  exact pre-PR simulated history.
 * **autotune_sweep** — written to ``BENCH_autotune.json``: the fig12
   pipeline loop across compute/I-O mixes under the closed-loop
   :class:`~repro.core.elastic.ElasticController` vs every static core
@@ -114,6 +121,16 @@ CACHE_OFF_SIM_END = {
 
 #: GPU cache size for the serving points (64 KiB KV-block lines)
 CACHE_GPU_BLOCKS = 2048
+
+#: tiered goodput floor vs local-only on the cache-friendly disagg
+#: workload (ISSUE 9): the write-back tier must recover at least this
+#: fraction of direct-attached goodput
+DISAGG_GOODPUT_FLOOR = 0.80
+
+#: pre-PR simulated end time of ``batch_sweep(True)`` (commit 295ed5b)
+#: — with repro.net unused, the disagg machinery must be a pure
+#: bystander: the local control plane replays bit-identically
+DISAGG_UNUSED_SIM_END = 0.018738140996340358
 
 
 def _best_of(rounds, fn):
@@ -508,6 +525,70 @@ def cache_sweep():
     }
 
 
+def disagg_sweep():
+    """The disaggregated flash tier (ISSUE 9): three hard gates.
+
+    * **goodput** — on the cache-friendly zipfian workload the
+      write-back tier must keep >= :data:`DISAGG_GOODPUT_FLOOR` of the
+      local-only (direct-attached) goodput; the fabric may only tax
+      misses and batched write-backs.
+    * **partition** — a 1 ms full fabric partition under closed-loop
+      mixed traffic: every request completes or fails typed (no
+      hangs), the tier heals, the post-heal resync drains the dirty
+      log, and a remote read-back of every acked write finds no lost
+      or stale data.
+    * **bystander** — ``batch_sweep(True)`` with the disagg stack
+      merely importable must end at the exact pre-PR simulated time.
+    """
+    from repro.experiments.disagg import WORKLOAD, disagg_goodput
+    from repro.experiments.extras import _chaos_disagg
+
+    t0 = time.perf_counter()
+    rates = disagg_goodput(quick=True)
+    goodput_wall = round(time.perf_counter() - t0, 3)
+    local = rates["local-only"]["gb_per_s"]
+    ratio = rates["tiered"]["gb_per_s"] / local if local else 0.0
+    goodput_gate = ratio >= DISAGG_GOODPUT_FLOOR
+
+    out = _chaos_disagg(requests=160, partition=(0.5e-3, 1.0e-3))
+    partition = {
+        key: out[key] for key in (
+            "offered", "ok", "errors", "degraded_entries", "resyncs",
+            "queued_writes", "degraded_misses", "dirty_after", "healed",
+            "verify_failures", "readback_failures", "written_pages",
+        )
+    }
+    partition["error_types"] = sorted(out["error_types"])
+    partition_gate = (
+        out["ok"] + out["errors"] == out["offered"]
+        and out["degraded_entries"] >= 1
+        and out["dirty_after"] == 0
+        and out["healed"]
+        and out["verify_failures"] == 0
+        and out["readback_failures"] == 0
+    )
+
+    _, _, sim_end = batch_sweep(True)
+    bystander = sim_end == DISAGG_UNUSED_SIM_END
+
+    return {
+        "workload": dict(WORKLOAD),
+        "goodput_wall_s": goodput_wall,
+        "configs": rates,
+        "tiered_vs_local": round(ratio, 4),
+        "goodput_floor": DISAGG_GOODPUT_FLOOR,
+        "goodput_gate_met": goodput_gate,
+        "partition": partition,
+        "partition_gate_met": partition_gate,
+        "bystander": {
+            "sim_end": sim_end,
+            "expected": DISAGG_UNUSED_SIM_END,
+            "identical": bystander,
+        },
+        "target_met": goodput_gate and partition_gate and bystander,
+    }
+
+
 # -- harness ---------------------------------------------------------------
 
 def _git_commit():
@@ -570,6 +651,15 @@ def main(argv=None):
     parser.add_argument(
         "--only-cache", action="store_true",
         help="run only the GPU-cache sweep (the CI cache job)",
+    )
+    parser.add_argument(
+        "--disagg-output", default="BENCH_disagg.json",
+        help="where to write the disaggregated-tier sweep "
+        "(default: ./BENCH_disagg.json)",
+    )
+    parser.add_argument(
+        "--only-disagg", action="store_true",
+        help="run only the disaggregated-tier sweep (the CI disagg job)",
     )
     args = parser.parse_args(argv)
 
@@ -641,8 +731,35 @@ def main(argv=None):
         print(f"wrote {cache_output}")
         return cache
 
+    def run_disagg_bench():
+        print("== disagg sweep (remote flash tier, 2 replica nodes) ==")
+        disagg = disagg_sweep()
+        for config, cell in disagg["configs"].items():
+            print(
+                f"  {config:14s} {cell['gb_per_s']:6.2f} GB/s  "
+                f"hit {cell['hit_rate']:6.1%}  p99 {cell['p99_us']:7.1f} us"
+            )
+        print(f"  tiered/local: {disagg['tiered_vs_local']} "
+              f"(floor {disagg['goodput_floor']}, met: "
+              f"{disagg['goodput_gate_met']})")
+        part = disagg["partition"]
+        print(f"  partition: {part['ok']}/{part['offered']} ok, "
+              f"{part['errors']} typed errors, resyncs {part['resyncs']}, "
+              f"dirty after {part['dirty_after']}, readback failures "
+              f"{part['readback_failures']} (met: "
+              f"{disagg['partition_gate_met']})")
+        print(f"  unused-stack sim_end identical: "
+              f"{disagg['bystander']['identical']}")
+        disagg_output = Path(args.disagg_output)
+        disagg_output.write_text(json.dumps(disagg, indent=2) + "\n")
+        print(f"wrote {disagg_output}")
+        return disagg
+
     if args.only_autotune:
         return 0 if run_autotune()["target_met"] else 1
+
+    if args.only_disagg:
+        return 0 if run_disagg_bench()["target_met"] else 1
 
     if args.only_serving:
         return 0 if run_serving()["target_met"] else 1
@@ -824,6 +941,9 @@ def main(argv=None):
     cache = run_cache()
     results["cache_sweep"] = cache
 
+    disagg = run_disagg_bench()
+    results["disagg_sweep"] = disagg
+
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}")
@@ -836,6 +956,7 @@ def main(argv=None):
         and auto["target_met"]
         and serving["target_met"]
         and cache["target_met"]
+        and disagg["target_met"]
     ) else 1
 
 

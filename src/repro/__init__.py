@@ -19,13 +19,33 @@ Layering (bottom-up):
 """
 
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.errors import (
+    DeviceError,
+    DeviceOfflineError,
+    DeviceTimeoutError,
+    LinkPartitionedError,
+    MediaError,
+    NetworkError,
+    RemoteTimeoutError,
+    RemoteUnavailableError,
+    ReproError,
+)
 from repro.hw.platform import Platform
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_PLATFORM",
+    "DeviceError",
+    "DeviceOfflineError",
+    "DeviceTimeoutError",
+    "LinkPartitionedError",
+    "MediaError",
+    "NetworkError",
     "Platform",
     "PlatformConfig",
+    "RemoteTimeoutError",
+    "RemoteUnavailableError",
+    "ReproError",
     "__version__",
 ]

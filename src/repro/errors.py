@@ -2,6 +2,39 @@
 
 All library errors derive from :class:`ReproError` so that applications can
 catch everything coming out of this package with a single ``except`` clause.
+
+Taxonomy (who raises what)::
+
+    ReproError
+    ├── SimulationError          engine misuse / exhausted event heap
+    ├── ProcessInterrupt         another process interrupted this one
+    ├── ConfigurationError       invalid constants or arguments
+    ├── DeviceError              a *local* device rejected an operation
+    │   ├── MediaError           non-zero NVMe CQE status (ssd_id/lba)
+    │   │   └── RetryExhaustedError   still failing after the retry budget
+    │   ├── DeviceTimeoutError   watchdog deadline expired (+TimeoutError)
+    │   │   └── DeviceOfflineError    device dropped off the bus / breaker
+    │   ├── ReactorOfflineError  the owning CPU poller stalled or crashed
+    │   ├── InvalidLBAError      request outside the device
+    │   └── QueueFullError       no free submission-queue slot
+    ├── NetworkError             the *fabric* failed an operation
+    │   │                        (node_id/link_id say where)
+    │   ├── LinkPartitionedError     the link is partitioned right now
+    │   ├── RemoteTimeoutError       deadline expired waiting on a remote
+    │   │                            node (+TimeoutError)
+    │   └── RemoteUnavailableError   no reachable replica (all links
+    │                                down / breakers open / degraded-
+    │                                mode miss on the local tier)
+    ├── OverloadError            admission control shed the request
+    ├── AllocationError          simulated GPU/host memory exhausted
+    ├── APIUsageError            API called in an invalid order
+    └── FileSystemError          simulated file-system failure
+
+Device errors come out of :mod:`repro.hw` + :mod:`repro.reliability`;
+network errors come out of :mod:`repro.net` (the disaggregated flash
+tier).  The split matters operationally: device errors are usually
+absorbed by retries/replicas on the same host, while network errors are
+what a tiered backend downgrades to local-only degraded mode on.
 """
 
 from __future__ import annotations
@@ -96,6 +129,48 @@ class ReactorOfflineError(DeviceError):
         self.ssd_id = ssd_id
         self.lba = lba
         self.attempts = attempts
+
+
+class NetworkError(ReproError):
+    """A fabric-level failure in the disaggregated tier.
+
+    Carries where it happened (``node_id`` for the remote flash node,
+    ``link_id`` for the fabric link) and how hard the network layer
+    already tried (``attempts`` counts retransmits/hedges spent).
+    """
+
+    def __init__(self, message, *, node_id=None, link_id=None, attempts=1):
+        super().__init__(message)
+        self.node_id = node_id
+        self.link_id = link_id
+        self.attempts = attempts
+
+
+class LinkPartitionedError(NetworkError):
+    """The fabric link is partitioned: frames are being dropped on the
+    floor.  Raised after the link's detection delay rather than hanging
+    the sender forever."""
+
+
+class RemoteTimeoutError(NetworkError, TimeoutError):
+    """No response from the remote node within the operation deadline.
+
+    Subclasses the built-in :class:`TimeoutError` (like
+    :class:`DeviceTimeoutError`) so generic timeout handling works.
+    """
+
+    def __init__(self, message, *, node_id=None, link_id=None, attempts=1,
+                 timeout=None):
+        super().__init__(
+            message, node_id=node_id, link_id=link_id, attempts=attempts
+        )
+        self.timeout = timeout
+
+
+class RemoteUnavailableError(NetworkError):
+    """No replica can serve the request right now: every node's link is
+    partitioned or breaker-open — or, on a tiered backend in degraded
+    mode, the requested blocks are not resident locally."""
 
 
 class OverloadError(ReproError):

@@ -1058,7 +1058,233 @@ def _chaos_mirrored(requests: int, crash_at=None, flight_dir=None,
         partition_ok, telemetry
 
 
-def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
+def _chaos_disagg(
+    requests: int = 160,
+    workers: int = 8,
+    write_fraction: float = 0.5,
+    working_pages: int = 96,
+    capacity_pages: int = 48,
+    partition=None,
+    flap=None,
+    brownout=None,
+    second_partition=None,
+    flight_dir=None,
+    scenario: str = "disagg",
+):
+    """Closed-loop page-aligned 4 KiB mixed ops on a tiered backend
+    (local cache over 2 remote replica nodes) under fabric faults.
+
+    ``partition``/``second_partition`` are ``(start, duration)`` windows
+    partitioning *both* links (a full fabric partition); ``flap`` is
+    ``(start, period, count)`` bouncing link ``node0`` only;
+    ``brownout`` is ``(start, duration, factor)`` on ``node0``.
+
+    After the workload the fabric is left to heal and the tier is
+    synced until the dirty log drains; then every written page is read
+    back **directly from the remote backend** and compared against the
+    last acked write — the no-lost-or-stale-writes check.  Returns the
+    invariant-check dict (plus telemetry and a flight-dump closure).
+    """
+    from repro.errors import DeviceError, NetworkError
+    from repro.net import NetworkFaultInjector, build_disagg
+    from repro.obs import (
+        FlightRecorder,
+        install_metrics,
+        install_sampler,
+        install_tracer,
+    )
+    from repro.reliability import HealthTracker
+
+    injector = NetworkFaultInjector()
+    links = ("node0", "node1")
+    if partition is not None:
+        start, duration = partition
+        for link in links:
+            injector.partition(link, start=start, duration=duration)
+    if second_partition is not None:
+        start, duration = second_partition
+        for link in links:
+            injector.partition(link, start=start, duration=duration)
+    if flap is not None:
+        start, period, count = flap
+        injector.flap("node0", start=start, period=period, count=count)
+    if brownout is not None:
+        start, duration, factor = brownout
+        injector.brownout(
+            "node0", factor=factor, start=start, duration=duration
+        )
+
+    platform = Platform(PlatformConfig(num_ssds=2), functional=True)
+    env = platform.env
+    tracer = install_tracer(env)
+    metrics = install_metrics(env)
+    page_bytes = 4 * KiB
+    tier = build_disagg(
+        platform,
+        num_nodes=2,
+        fault_injector=injector,
+        capacity_bytes=capacity_pages * page_bytes,
+        flush_watermark=8,
+        probe_interval=100e-6,
+        health=HealthTracker(env, 2, breaker_cooldown=200e-6),
+    )
+    sampler = install_sampler(metrics, net=tier, interval=20e-6)
+    blocks = page_bytes // platform.config.ssd.block_size
+    platform.stripe_blocks = blocks
+    rng = np.random.default_rng(31)
+    page_seq = rng.integers(0, working_pages, size=requests)
+    write_draw = rng.random(size=requests)
+    shared = {"next": 0, "ok": 0, "errors": 0}
+    error_types = set()
+    #: page -> payload of the last *acknowledged* write
+    expected = {}
+    verify_failures = 0
+
+    def payload_for(page: int, version: int) -> bytes:
+        return bytes([(page * 31 + version * 7) % 256]) * page_bytes
+
+    versions = {}
+
+    def worker():
+        nonlocal verify_failures
+        while shared["next"] < requests:
+            index = shared["next"]
+            shared["next"] += 1
+            page = int(page_seq[index])
+            lba = page * blocks
+            is_write = write_draw[index] < write_fraction
+            try:
+                if is_write:
+                    version = versions.get(page, 0) + 1
+                    data = payload_for(page, version)
+                    yield from tier.io(
+                        lba, page_bytes, is_write=True, payload=data
+                    )
+                    versions[page] = version
+                    expected[page] = data
+                else:
+                    version_at_start = versions.get(page, 0)
+                    cqe = yield from tier.io(lba, page_bytes)
+                    value = getattr(cqe, "value", None)
+                    if version_at_start > 0 and value is not None:
+                        # linearizability window: the read may observe
+                        # any version acked when it started through one
+                        # past the latest ack (an in-flight writer)
+                        fresh = {
+                            payload_for(page, v)
+                            for v in range(
+                                version_at_start,
+                                versions.get(page, 0) + 2,
+                            )
+                        }
+                        if bytes(value) not in fresh:
+                            verify_failures += 1
+            except NetworkError as error:
+                shared["errors"] += 1
+                error_types.add(type(error).__name__)
+            except DeviceError as error:
+                shared["errors"] += 1
+                error_types.add(type(error).__name__)
+            else:
+                shared["ok"] += 1
+
+    procs = [env.process(worker()) for _ in range(workers)]
+    start = env.now
+    env.run(env.all_of(procs))  # SimulationError here == a hang
+    elapsed = env.now - start
+
+    # drain the dirty log, retrying across any still-open fault windows
+    # (syncing *immediately* matters: the partition-during-resync
+    # scenario plants its second window to land mid-drain)
+    def drain():
+        for _ in range(128):
+            remaining = yield from tier.sync()
+            if remaining == 0 and not tier.degraded:
+                return
+            yield env.timeout(250e-6)
+
+    env.run(env.process(drain()))
+    dirty_after = tier.dirty_pages()
+
+    # full read-back from the *remote* tier: no lost or stale writes
+    readback_failures = 0
+
+    def readback():
+        nonlocal readback_failures
+        for page, want in sorted(expected.items()):
+            cqe = yield from tier.remote.io(page * blocks, page_bytes)
+            value = getattr(cqe, "value", None)
+            if value is None or bytes(value) != want:
+                readback_failures += 1
+
+    if dirty_after == 0:
+        env.run(env.process(readback()))
+    sampler.stop()
+    sampler.sample_now()
+
+    def dump_bundle(reason: str, detail=None):
+        if flight_dir is None:
+            return None
+        recorder = FlightRecorder(
+            env, Path(flight_dir) / scenario,
+            tracer=tracer, sampler=sampler, metrics=metrics,
+            health=tier.remote.health,
+        )
+        return recorder.dump(reason, detail=detail)
+
+    remote = tier.remote
+    return {
+        "offered": requests,
+        "ok": shared["ok"],
+        "errors": shared["errors"],
+        "error_types": error_types,
+        "goodput": shared["ok"] * page_bytes / elapsed if elapsed else 0.0,
+        "degraded_entries": int(tier.partitions_detected.total),
+        "resyncs": int(tier.resyncs.total),
+        "hedged": int(remote.hedged_reads.total),
+        "hedge_wins": int(remote.hedge_wins.total),
+        "remote_timeouts": int(remote.remote_timeouts.total),
+        "queued_writes": int(tier.queued_writes.total),
+        "degraded_misses": int(tier.degraded_misses.total),
+        "dirty_after": dirty_after,
+        "healed": not tier.degraded,
+        "verify_failures": verify_failures,
+        "readback_failures": readback_failures,
+        "written_pages": len(expected),
+        "metrics": metrics.registry.snapshot(),
+        "_dump": dump_bundle,
+    }
+
+
+#: every chaos scenario name, in campaign order — the single source the
+#: CLI's ``--list`` / ``--only`` validation reads
+CHAOS_SCENARIOS = (
+    "baseline",
+    "media_faults",
+    "device_offline",
+    "reactor_stall",
+    "reactor_crash",
+    "overload_4x",
+    "resize_during_stall",
+    "resize_during_crash",
+    "burst_then_idle",
+    "mirrored_baseline",
+    "mirrored_reactor_crash",
+    "net_partition",
+    "net_flap",
+    "net_brownout",
+    "net_partition_during_resync",
+)
+
+
+def chaos_scenario_names():
+    """All chaos scenario names, in the order the campaign runs them."""
+    return list(CHAOS_SCENARIOS)
+
+
+def run_chaos(
+    quick: bool = True, flight_dir=None, only=None
+) -> ExperimentResult:
     """Chaos campaign: fault scenarios on the reliable coalesced path.
 
     Every scenario asserts the robustness invariants of ISSUE 4: each
@@ -1073,7 +1299,32 @@ def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
     is given, every *failed* scenario additionally dumps a
     flight-recorder bundle and records its path under
     ``"flight_bundle"`` (None for passing scenarios).
+
+    ``only`` restricts the campaign to a subset of scenario names (see
+    :data:`CHAOS_SCENARIOS`); unknown names raise
+    :class:`~repro.errors.ConfigurationError`.  The network scenarios
+    (``net_*``) run the disaggregated tier under fabric faults and add
+    the PR 9 invariants: a partition never hangs an op (typed
+    ``NetworkError`` or degraded-tier serve), the post-heal resync
+    drains the dirty log, and a full remote read-back shows no lost or
+    stale writes.
     """
+    from repro.errors import ConfigurationError
+
+    if only is not None:
+        selected = set(only)
+        unknown = selected - set(CHAOS_SCENARIOS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown chaos scenario(s) {sorted(unknown)}; known: "
+                f"{list(CHAOS_SCENARIOS)}"
+            )
+    else:
+        selected = None
+
+    def want(name: str) -> bool:
+        return selected is None or name in selected
+
     result = ExperimentResult(
         exp_id="chaos",
         title="Chaos campaign: device, reactor and overload faults",
@@ -1163,6 +1414,8 @@ def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
     ]
     details = result.scenario_details
     for name, kwargs, extra_check in scenarios:
+        if not want(name):
+            continue
         kwargs.setdefault("workers", workers)
         kwargs.setdefault("batches", batches)
         kwargs.setdefault("per_batch", per_batch)
@@ -1189,59 +1442,152 @@ def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
 
     # mirrored goodput floor under a single supervised reactor crash
     requests = 600 if quick else 3000
-    mirror = result.add_table(
-        Table(
-            "mirrored devices, closed-loop, single reactor crash",
-            ["scenario", "goodput_GB/s", "app_errors", "duplicates",
-             "invariants_ok"],
+    if want("mirrored_baseline") or want("mirrored_reactor_crash"):
+        mirror = result.add_table(
+            Table(
+                "mirrored devices, closed-loop, single reactor crash",
+                ["scenario", "goodput_GB/s", "app_errors", "duplicates",
+                 "invariants_ok"],
+            )
         )
-    )
-    base_goodput, base_errors, base_dups, base_part, base_tele = (
-        _chaos_mirrored(
-            requests, flight_dir=flight_dir,
-            scenario="mirrored_baseline",
+        # the crash scenario's floor is relative to the fault-free run,
+        # so the baseline executes whenever either row is selected
+        base_goodput, base_errors, base_dups, base_part, base_tele = (
+            _chaos_mirrored(
+                requests, flight_dir=flight_dir,
+                scenario="mirrored_baseline",
+            )
         )
-    )
-    base_ok = base_errors == 0 and base_dups == 0 and base_part
-    base_bundle = None
-    if not base_ok:
-        base_bundle = base_tele["_dump"](
-            "chaos:mirrored_baseline", detail="invariant check failed"
-        )
-    details["mirrored_baseline"] = {
-        "metrics": base_tele["metrics"],
-        "flight_bundle": (
-            str(base_bundle) if base_bundle is not None else None
+        if want("mirrored_baseline"):
+            base_ok = base_errors == 0 and base_dups == 0 and base_part
+            base_bundle = None
+            if not base_ok:
+                base_bundle = base_tele["_dump"](
+                    "chaos:mirrored_baseline",
+                    detail="invariant check failed",
+                )
+            details["mirrored_baseline"] = {
+                "metrics": base_tele["metrics"],
+                "flight_bundle": (
+                    str(base_bundle) if base_bundle is not None else None
+                ),
+            }
+            mirror.add_row(
+                "mirrored_baseline", to_gb_per_s(base_goodput),
+                base_errors, base_dups, base_ok,
+            )
+        if want("mirrored_reactor_crash"):
+            goodput, errors, dups, partition_ok, crash_tele = (
+                _chaos_mirrored(
+                    requests, crash_at=0.3e-3, flight_dir=flight_dir,
+                    scenario="mirrored_reactor_crash",
+                )
+            )
+            floor = 0.4 * base_goodput
+            crash_ok = (
+                errors == 0 and dups == 0 and partition_ok
+                and goodput >= floor
+            )
+            crash_bundle = None
+            if not crash_ok:
+                crash_bundle = crash_tele["_dump"](
+                    "chaos:mirrored_reactor_crash",
+                    detail="invariant check failed",
+                )
+            details["mirrored_reactor_crash"] = {
+                "metrics": crash_tele["metrics"],
+                "flight_bundle": (
+                    str(crash_bundle) if crash_bundle is not None
+                    else None
+                ),
+            }
+            mirror.add_row(
+                "mirrored_reactor_crash", to_gb_per_s(goodput), errors,
+                dups, crash_ok,
+            )
+
+    # network partitions on the disaggregated tier (the PR 9 frontier)
+    net_requests = 160 if quick else 480
+    net_scenarios = [
+        (
+            "net_partition",
+            {"partition": (0.5e-3, 1.0e-3)},
+            lambda o: o["degraded_entries"] >= 1 and o["resyncs"] >= 1,
         ),
-    }
-    mirror.add_row(
-        "mirrored_baseline", to_gb_per_s(base_goodput), base_errors,
-        base_dups, base_ok,
-    )
-    goodput, errors, dups, partition_ok, crash_tele = _chaos_mirrored(
-        requests, crash_at=0.3e-3, flight_dir=flight_dir,
-        scenario="mirrored_reactor_crash",
-    )
-    floor = 0.4 * base_goodput
-    crash_ok = (
-        errors == 0 and dups == 0 and partition_ok and goodput >= floor
-    )
-    crash_bundle = None
-    if not crash_ok:
-        crash_bundle = crash_tele["_dump"](
-            "chaos:mirrored_reactor_crash",
-            detail="invariant check failed",
-        )
-    details["mirrored_reactor_crash"] = {
-        "metrics": crash_tele["metrics"],
-        "flight_bundle": (
-            str(crash_bundle) if crash_bundle is not None else None
+        (
+            "net_flap",
+            {"flap": (0.3e-3, 0.4e-3, 4)},
+            lambda o: o["goodput"] > 0,
         ),
-    }
-    mirror.add_row(
-        "mirrored_reactor_crash", to_gb_per_s(goodput), errors, dups,
-        crash_ok,
-    )
+        (
+            "net_brownout",
+            {"brownout": (0.2e-3, 2.0e-3, 40.0)},
+            lambda o: o["errors"] == 0 and o["hedged"] >= 1,
+        ),
+        (
+            "net_partition_during_resync",
+            {
+                "partition": (0.4e-3, 0.8e-3),
+                "second_partition": (1.5e-3, 0.6e-3),
+            },
+            lambda o: o["degraded_entries"] >= 1 and o["resyncs"] >= 2,
+        ),
+    ]
+    if any(want(name) for name, _, _ in net_scenarios):
+        net_table = result.add_table(
+            Table(
+                "disaggregated tier, 2 replica nodes, fabric faults",
+                ["scenario", "offered", "ok", "net_errors",
+                 "goodput_GB/s", "degraded", "resyncs", "hedged",
+                 "dirty_after", "readback_ok", "invariants_ok"],
+            )
+        )
+
+        def check_net(out):
+            # the PR 4 invariants, generalized multi-node: every op
+            # terminated (closed loop returned), each as success or
+            # typed error; post-heal resync drained the dirty log; the
+            # remote read-back saw every acked write, no stale data
+            return (
+                out["ok"] + out["errors"] == out["offered"]
+                and out["error_types"] <= {
+                    "LinkPartitionedError", "RemoteTimeoutError",
+                    "RemoteUnavailableError", "NetworkError",
+                }
+                and out["dirty_after"] == 0
+                and out["healed"]
+                and out["verify_failures"] == 0
+                and out["readback_failures"] == 0
+            )
+
+        for name, kwargs, extra_check in net_scenarios:
+            if not want(name):
+                continue
+            out = _chaos_disagg(
+                requests=net_requests, flight_dir=flight_dir,
+                scenario=name, **kwargs,
+            )
+            ok = check_net(out) and extra_check(out)
+            bundle = None
+            if not ok:
+                bundle = out["_dump"](
+                    f"chaos:{name}", detail="invariant check failed"
+                )
+            details[name] = {
+                "metrics": out["metrics"],
+                "flight_bundle": (
+                    str(bundle) if bundle is not None else None
+                ),
+            }
+            net_table.add_row(
+                name, out["offered"], out["ok"], out["errors"],
+                to_gb_per_s(out["goodput"]), out["degraded_entries"],
+                out["resyncs"], out["hedged"], out["dirty_after"],
+                out["readback_failures"] == 0
+                and out["verify_failures"] == 0,
+                ok,
+            )
+
     result.note(
         "invariants_ok folds: submitted==terminated (every admitted "
         "request reached exactly one end state), offered==submitted+"
@@ -1249,6 +1595,10 @@ def run_chaos(quick: bool = True, flight_dir=None) -> ExperimentResult:
         "partition over alive reactors, plus the per-scenario check "
         "(retries absorb media faults, offline devices surface typed "
         "errors, failover keeps crash/stall error-free, overload sheds "
-        "with bounded p99, mirrored goodput >= 40% of fault-free)"
+        "with bounded p99, mirrored goodput >= 40% of fault-free). "
+        "Network scenarios fold in the partition invariants: ops never "
+        "hang (typed NetworkError or degraded-tier serve), post-heal "
+        "resync drains the dirty log, and a full remote read-back "
+        "verifies no lost or stale writes"
     )
     return result

@@ -46,6 +46,7 @@ EXTRAS: Dict[str, str] = {
     "chaos": "repro.experiments.extras:run_chaos",
     "elastic": "repro.experiments.extras:run_elastic",
     "serving": "repro.experiments.serving:run_serving",
+    "disagg": "repro.experiments.disagg:run_disagg",
     "gpucache": "repro.experiments.gpucache:run_gpucache",
 }
 

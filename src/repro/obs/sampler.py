@@ -55,6 +55,13 @@ class MetricsSampler:
         ``cam_gpucache_*`` families from (the GPU cache also pushes on
         its own hot path; the pull keeps snapshots fresh between
         accesses).
+    net:
+        A disaggregated-tier source to pull the ``cam_net_*`` families
+        from — anything with a ``publish()`` method: a
+        :class:`~repro.net.tiered.TieredBackend` (cascades into its
+        remote backend and every fabric link), a
+        :class:`~repro.net.remote.RemoteFlashBackend`, or a bare
+        :class:`~repro.net.fabric.FabricLink`.
     max_samples:
         History ring size; older samples fall off the front.
     autostart:
@@ -72,6 +79,7 @@ class MetricsSampler:
         admission=None,
         cache=None,
         gpu_cache=None,
+        net=None,
         max_samples: int = 4096,
         autostart: bool = True,
     ):
@@ -97,6 +105,7 @@ class MetricsSampler:
         )
         self.cache = cache
         self.gpu_cache = gpu_cache
+        self.net = net
         #: ``(sim_time, flat_snapshot)`` ring — the live series the SLO
         #: monitor and cam-top read
         self.history: deque = deque(maxlen=max_samples)
@@ -336,6 +345,10 @@ class MetricsSampler:
             # the GPU cache owns its cam_gpucache_* families; the pull
             # just forces a refresh so snapshots are never stale
             gpu_cache.publish()
+        net = self.net
+        if net is not None:
+            # same deal for the disaggregated tier's cam_net_* families
+            net.publish()
         if self.manager is not None:
             self._g_inbox.child().set(len(self.manager._inbox))
         tracer = self.env.tracer

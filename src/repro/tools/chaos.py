@@ -8,6 +8,11 @@ if any invariant failed, so CI can surface regressions without parsing
 tables::
 
     python -m repro.tools.chaos --output BENCH_chaos.json --quick
+
+``--list`` prints the scenario names; ``--only <name>`` (repeatable)
+reruns just the scenarios being debugged::
+
+    python -m repro.tools.chaos --quick --only net_partition --only net_flap
 """
 
 from __future__ import annotations
@@ -41,11 +46,27 @@ def main(argv=None) -> int:
         help="dump a flight-recorder bundle here for every failed "
              "scenario (bundle path lands in the JSON report)",
     )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="print every scenario name (campaign order) and exit",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="SCENARIO",
+        help="run only this scenario (repeatable); unknown names are "
+             "rejected against --list",
+    )
     args = parser.parse_args(argv)
 
-    from repro.experiments.extras import run_chaos
+    from repro.experiments.extras import chaos_scenario_names, run_chaos
 
-    result = run_chaos(quick=args.quick, flight_dir=args.flight_dir)
+    if args.list_scenarios:
+        for name in chaos_scenario_names():
+            print(name)
+        return 0
+
+    result = run_chaos(
+        quick=args.quick, flight_dir=args.flight_dir, only=args.only
+    )
     scenarios = []
     for table in result.tables:
         scenarios.extend(_table_as_dicts(table))
@@ -63,6 +84,7 @@ def main(argv=None) -> int:
         "title": result.title,
         "quick": args.quick,
         "flight_dir": args.flight_dir,
+        "only": args.only,
         "scenarios": scenarios,
         "notes": result.notes,
         "invariants_passed": not failed,

@@ -230,6 +230,52 @@ def render_sample(
             f"(accuracy {ra_acc:6.1%})  throttled streams "
             f"{throttled:.0f}"
         )
+
+    # net pane: present only when the disaggregated tier published its
+    # cam_net_* families (see repro.net)
+    link_transfers = _by_label(snap, "cam_net_transfers_total", "link")
+    if link_transfers:
+        link_bytes = _by_label(snap, "cam_net_bytes_total", "link")
+        link_retrans = _by_label(snap, "cam_net_retransmits_total", "link")
+        link_drops = _by_label(snap, "cam_net_drops_total", "link")
+        link_down = _by_label(snap, "cam_net_link_down", "link")
+        lines.append("")
+        lines.append(
+            f"  {'NET LINK':>9}  {'MSGS':>8}  {'MB':>8}  "
+            f"{'RETRANS':>7}  {'DROPS':>6}  STATE"
+        )
+        for link in sorted(link_transfers, key=lambda l: (len(l), l)):
+            state = "DOWN" if link_down.get(link) else "up"
+            lines.append(
+                f"  {link:>9}  {link_transfers[link]:8.0f}  "
+                f"{link_bytes.get(link, 0) / 1e6:8.1f}  "
+                f"{link_retrans.get(link, 0):7.0f}  "
+                f"{link_drops.get(link, 0):6.0f}  {state}"
+            )
+        hedged = _scalar(snap, "cam_net_hedged_reads_total")
+        wins = _scalar(snap, "cam_net_hedge_wins_total")
+        timeouts = _scalar(snap, "cam_net_remote_timeouts_total")
+        if "cam_net_tier_hits_total" in snap:
+            t_hits = _scalar(snap, "cam_net_tier_hits_total")
+            t_misses = _scalar(snap, "cam_net_tier_misses_total")
+            lookups = t_hits + t_misses
+            mode = (
+                "DEGRADED"
+                if _scalar(snap, "cam_net_tier_degraded")
+                else "normal"
+            )
+            lines.append(
+                f"  TIER {mode:>8}  hit "
+                f"{(t_hits / lookups) if lookups else 0.0:6.1%}  dirty "
+                f"{_scalar(snap, 'cam_net_tier_dirty_pages'):5.0f}  "
+                f"queued {_scalar(snap, 'cam_net_tier_queued_writes_total'):5.0f}  "
+                f"resyncs {_scalar(snap, 'cam_net_tier_resyncs_total'):3.0f}"
+            )
+        lines.append(
+            f"  REMOTE hedged {hedged:.0f} (wins {wins:.0f})  "
+            f"timeouts {timeouts:.0f}  degraded writes "
+            f"{_scalar(snap, 'cam_net_degraded_writes_total'):.0f}"
+        )
     return "\n".join(lines)
 
 

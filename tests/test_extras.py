@@ -26,6 +26,7 @@ def test_extras_registry():
         "elastic",
         "serving",
         "gpucache",
+        "disagg",
     }
 
 

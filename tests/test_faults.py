@@ -159,6 +159,61 @@ def test_cam_survives_failed_batch_and_continues():
     assert context.manager.batches_done.total == 2
 
 
+def test_degrade_window_is_start_inclusive_end_exclusive():
+    injector = FaultInjector()
+    injector.degrade(0, factor=3.0, start=1.0, duration=2.0)
+    assert injector.latency_factor(0, 0.999) == 1.0
+    assert injector.latency_factor(0, 1.0) == 3.0
+    assert injector.latency_factor(0, 2.999) == 3.0
+    assert injector.latency_factor(0, 3.0) == 1.0
+    # scoped to the SSD, and overlapping windows stack
+    assert injector.latency_factor(1, 1.5) == 1.0
+    injector.degrade(0, factor=2.0, start=2.0, duration=2.0)
+    assert injector.latency_factor(0, 2.5) == 6.0
+
+
+def test_repair_lba_clears_persistent_faults():
+    injector = FaultInjector()
+    injector.inject_lba(0, 42, persistent=True)
+    # persistent: the fault survives being hit
+    assert injector.check(0, 42, 1, False) == STATUS_MEDIA_ERROR
+    assert injector.check(0, 42, 1, False) == STATUS_MEDIA_ERROR
+    injector.repair_lba(0, 42)
+    assert injector.check(0, 42, 1, False) == 0
+    # repair also cancels a planted one-shot before it fires
+    injector.inject_lba(0, 43)
+    injector.repair_lba(0, 43)
+    assert injector.check(0, 43, 1, False) == 0
+
+
+def test_offline_revive_waits_out_the_open_breaker():
+    """Reviving the device does not instantly close its breaker: the
+    cooldown still applies, then one half-open trial re-admits it."""
+    from repro.reliability.health import HealthState, HealthTracker
+    from repro.sim.core import Environment
+
+    env = Environment()
+    injector = FaultInjector()
+    health = HealthTracker(env, num_ssds=1)
+
+    injector.set_offline(0)
+    assert injector.is_offline(0)
+    health.mark_offline(0)
+    assert not health.allow(0)
+
+    injector.set_offline(0, False)
+    assert not injector.is_offline(0)
+    # the breaker stays open until the cooldown elapses
+    assert not health.allow(0)
+    env.run(env.timeout(health.breaker_cooldown))
+    # half-open: exactly one trial goes through, a second is refused
+    assert health.allow(0)
+    assert not health.allow(0)
+    health.record_success(0)
+    assert health.state(0) is HealthState.HEALTHY
+    assert health.allow(0)
+
+
 def test_fault_free_runs_unaffected_by_injector_presence():
     injector = FaultInjector()  # nothing planted, rate 0
     platform = _platform(injector=injector)

@@ -1,0 +1,105 @@
+"""Property test: partitions never hang the disaggregated tier.
+
+Generalizes the reactor crash/revive property to the fabric: under an
+arbitrary interleaving of partition/heal events across the replica
+links, every read either completes or fails with a typed
+:class:`NetworkError` — and once every link is healed the backend
+recovers (the breakers half-open and close again).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import PlatformConfig
+from repro.errors import NetworkError
+from repro.hw.platform import Platform
+from repro.net import NetworkFaultInjector, build_disagg
+
+
+def _attempt(platform, backend):
+    """One read through the stack; returns ("ok", cqe) or the typed
+    error.  ``env.run`` returning at all is the no-hang property."""
+    env = platform.env
+
+    def proc():
+        try:
+            cqe = yield from backend.io(0, 4096)
+        except NetworkError as error:
+            return ("error", error)
+        return ("ok", cqe)
+
+    return env.run(env.process(proc()))
+
+
+@given(
+    num_nodes=st.integers(min_value=1, max_value=4),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["partition", "heal"]),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=20,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_reads_terminate_under_arbitrary_partition_schedules(
+    num_nodes, ops
+):
+    platform = Platform(PlatformConfig(num_ssds=1), functional=False)
+    injector = NetworkFaultInjector()
+    backend = build_disagg(
+        platform,
+        num_nodes=num_nodes,
+        tiered=False,
+        functional=False,
+        fault_injector=injector,
+        deadline=5e-3,
+        hedge_after=1e-3,
+    )
+    env = platform.env
+
+    for op, index in ops:
+        link_id = f"node{index % num_nodes}"
+        injector.set_partitioned(link_id, op == "partition")
+        all_down = all(
+            node.link.is_partitioned() for node in backend.nodes
+        )
+        outcome, value = _attempt(platform, backend)
+        if all_down:
+            # no reachable replica: must be a typed error, never a hang
+            assert outcome == "error", value
+            assert isinstance(value, NetworkError)
+        elif outcome == "ok":
+            assert value is None or value.ok
+
+    # recovery: heal everything, let the breakers cool down, and the
+    # half-open trials must bring the replica set back
+    for node in backend.nodes:
+        injector.set_partitioned(node.link.link_id, False)
+    recovered = False
+    for _ in range(4):
+        env.run(env.timeout(backend.health.breaker_cooldown))
+        outcome, value = _attempt(platform, backend)
+        if outcome == "ok":
+            recovered = True
+            break
+    assert recovered, f"backend never recovered after heal: {value}"
+
+
+@given(
+    start=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    duration=st.floats(min_value=1e-9, max_value=1e3, allow_nan=False),
+    probe=st.floats(min_value=0.0, max_value=2e3, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_windows_are_start_inclusive_end_exclusive(
+    start, duration, probe
+):
+    # tiny durations can round away entirely in float arithmetic
+    assume(start + duration > start)
+    injector = NetworkFaultInjector()
+    injector.partition("a", start=start, duration=duration)
+    inside = start <= probe < start + duration
+    assert injector.is_partitioned("a", probe) == inside
+    assert injector.is_partitioned("a", start)
+    assert not injector.is_partitioned("a", start + duration)

@@ -1,0 +1,238 @@
+"""Fabric link model + network fault injector.
+
+The link must never hang: a partitioned link fails after its detection
+delay, a lossy link fails after the retransmit budget, and every fault
+window is a pure function of simulated time (start-inclusive,
+end-exclusive, like :meth:`FaultInjector.degrade`).
+"""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    LinkPartitionedError,
+    NetworkError,
+)
+from repro.net import FabricLink, NetworkFaultInjector
+from repro.sim.core import Environment
+from repro.units import US
+
+
+def _link(env=None, injector=None, **kwargs):
+    env = env or Environment()
+    link = FabricLink(env, link_id="lab", fault_injector=injector, **kwargs)
+    return env, link
+
+
+def _run(env, gen):
+    return env.run(env.process(gen))
+
+
+# -- injector window semantics ------------------------------------------
+
+
+def test_partition_window_start_inclusive_end_exclusive():
+    injector = NetworkFaultInjector()
+    injector.partition("a", start=1.0, duration=2.0)
+    assert not injector.is_partitioned("a", 0.999)
+    assert injector.is_partitioned("a", 1.0)
+    assert injector.is_partitioned("a", 2.999)
+    assert not injector.is_partitioned("a", 3.0)
+    # scoped to the link id
+    assert not injector.is_partitioned("b", 1.5)
+
+
+def test_next_heal_reports_window_end():
+    injector = NetworkFaultInjector()
+    injector.partition("a", start=1.0, duration=2.0)
+    assert injector.next_heal("a", 0.5) is None
+    assert injector.next_heal("a", 1.5) == 3.0
+    # overlapping windows: the latest heal wins
+    injector.partition("a", start=2.0, duration=5.0)
+    assert injector.next_heal("a", 2.5) == 7.0
+
+
+def test_manual_partition_heals_only_on_request():
+    injector = NetworkFaultInjector()
+    injector.set_partitioned("a")
+    assert injector.is_partitioned("a", 0.0)
+    assert injector.next_heal("a", 123.0) == float("inf")
+    injector.set_partitioned("a", False)
+    assert not injector.is_partitioned("a", 0.0)
+    assert injector.next_heal("a", 0.0) is None
+
+
+def test_flap_plants_a_partition_train():
+    injector = NetworkFaultInjector()
+    injector.flap("a", start=0.0, period=1.0, count=3, down_fraction=0.5)
+    assert injector.partitions_planted == 3
+    for cycle in range(3):
+        assert injector.is_partitioned("a", cycle + 0.25)
+        assert not injector.is_partitioned("a", cycle + 0.75)
+    assert not injector.is_partitioned("a", 3.25)
+
+
+def test_brownout_factors_stack_multiplicatively():
+    injector = NetworkFaultInjector()
+    injector.brownout("a", 3.0, start=0.0, duration=10.0)
+    injector.brownout("a", 2.0, start=5.0, duration=10.0)
+    assert injector.latency_factor("a", 1.0) == 3.0
+    assert injector.latency_factor("a", 7.0) == 6.0
+    assert injector.latency_factor("a", 12.0) == 2.0
+    assert injector.latency_factor("a", 20.0) == 1.0
+
+
+def test_lossy_windows_combine_as_independent_drops():
+    injector = NetworkFaultInjector()
+    injector.lossy("a", 0.5, start=0.0, duration=10.0)
+    injector.lossy("a", 0.5, start=0.0, duration=10.0)
+    assert injector.loss_rate("a", 1.0) == pytest.approx(0.75)
+    assert injector.loss_rate("a", 11.0) == 0.0
+
+
+def test_injector_validation():
+    injector = NetworkFaultInjector()
+    with pytest.raises(ConfigurationError):
+        injector.partition("a", duration=0.0)
+    with pytest.raises(ConfigurationError):
+        injector.flap("a", start=0.0, period=0.0, count=1)
+    with pytest.raises(ConfigurationError):
+        injector.flap("a", start=0.0, period=1.0, count=1,
+                      down_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        injector.brownout("a", factor=0.5)
+    with pytest.raises(ConfigurationError):
+        injector.lossy("a", loss_rate=1.5)
+
+
+# -- link transfers ------------------------------------------------------
+
+
+def test_transfer_costs_at_least_the_propagation_latency():
+    env, link = _link()
+    _run(env, link.transfer(4096))
+    assert env.now >= link.latency
+    assert link.transfers.total == 1
+    assert link.drops.total == 0
+
+
+def test_partitioned_transfer_fails_after_detection_not_never():
+    injector = NetworkFaultInjector()
+    injector.set_partitioned("lab")
+    env, link = _link(injector=injector)
+
+    def proc():
+        with pytest.raises(LinkPartitionedError) as excinfo:
+            yield from link.transfer(4096)
+        return excinfo.value
+
+    error = _run(env, proc())
+    assert error.link_id == "lab"
+    assert env.now == pytest.approx(link.partition_detect)
+    assert link.partition_failures.total == 1
+
+
+def test_transfer_succeeds_after_the_partition_window_closes():
+    injector = NetworkFaultInjector()
+    injector.partition("lab", start=0.0, duration=1e-3)
+    env, link = _link(injector=injector)
+
+    def proc():
+        with pytest.raises(LinkPartitionedError):
+            yield from link.transfer(4096)
+        yield env.timeout(1e-3)
+        yield from link.transfer(4096)
+
+    _run(env, proc())
+    assert link.transfers.total == 1
+    assert link.partition_failures.total == 1
+
+
+def test_partition_opening_mid_flight_is_detected():
+    injector = NetworkFaultInjector()
+    env, link = _link(injector=injector)
+    # a large message takes > 10 us of wire time; the partition opens
+    # while the frame is in flight, so it is lost and then detected
+    injector.partition("lab", start=10 * US, duration=1.0)
+
+    def proc():
+        with pytest.raises(LinkPartitionedError):
+            yield from link.transfer(4 << 20)
+
+    _run(env, proc())
+    assert link.partition_failures.total == 1
+
+
+def test_total_loss_exhausts_the_retransmit_budget():
+    injector = NetworkFaultInjector()
+    injector.lossy("lab", 1.0)
+    env, link = _link(injector=injector, max_retransmits=3)
+
+    def proc():
+        with pytest.raises(NetworkError) as excinfo:
+            yield from link.transfer(4096)
+        return excinfo.value
+
+    error = _run(env, proc())
+    assert not isinstance(error, LinkPartitionedError)
+    assert error.attempts == 4  # first try + 3 retransmits
+    assert link.retransmits.total == 3
+    assert link.drops.total == 4
+    assert link.transfers.total == 0
+
+
+def test_moderate_loss_retransmits_then_delivers():
+    injector = NetworkFaultInjector()
+    injector.lossy("lab", 0.9)
+    env, link = _link(injector=injector, max_retransmits=200)
+
+    def proc():
+        for seq in range(8):
+            yield from link.transfer(4096)
+
+    _run(env, proc())
+    assert link.transfers.total == 8
+    assert link.retransmits.total > 0
+
+
+def test_brownout_slows_transfers_without_dropping_them():
+    plain_env, plain = _link()
+    injector = NetworkFaultInjector()
+    injector.brownout("lab", 50.0)
+    slow_env, slow = _link(injector=injector)
+    _run(plain_env, plain.transfer(4096))
+    _run(slow_env, slow.transfer(4096))
+    assert slow_env.now > plain_env.now
+    assert slow.transfers.total == 1
+    assert slow.drops.total == 0
+
+
+def test_ping_is_a_round_trip():
+    env, link = _link()
+    assert _run(env, link.ping())
+    assert link.transfers.total == 2
+
+
+def test_idle_injector_does_not_perturb_the_link():
+    env_a, link_a = _link()
+    env_b, link_b = _link(injector=NetworkFaultInjector())
+
+    def proc(link):
+        for _ in range(4):
+            yield from link.transfer(8192)
+
+    _run(env_a, proc(link_a))
+    _run(env_b, proc(link_b))
+    assert env_a.now == env_b.now
+
+
+def test_link_validation():
+    env = Environment()
+    with pytest.raises(ConfigurationError):
+        FabricLink(env, "bad", latency=-1.0)
+    with pytest.raises(ConfigurationError):
+        FabricLink(env, "bad", loss_rate=1.0)
+    with pytest.raises(ConfigurationError):
+        FabricLink(env, "bad", max_retransmits=-1)
+    with pytest.raises(ConfigurationError):
+        FabricLink(env, "bad", partition_detect=0.0)
