@@ -31,6 +31,11 @@ class StorageBackend:
     #: name understood by :class:`~repro.model.throughput.ThroughputModel`
     model_name = ""
 
+    #: True when :meth:`io` accepts a ``trace_ctx`` keyword (a
+    #: :class:`~repro.obs.causal.RequestContext`) for causal request
+    #: tracing; callers probe this before threading the context through
+    accepts_trace_ctx = False
+
     def __init__(self, platform: Platform, reliability=None):
         self.platform = platform
         self.env = platform.env

@@ -25,6 +25,7 @@ from repro.core.api import CamContext
 from repro.errors import ConfigurationError
 from repro.gds.cufile import CuFileDriver
 from repro.hw.platform import Platform
+from repro.obs.causal import mint_context
 from repro.oskernel.stacks import IoUringStack, LibaioStack, PosixStack
 from repro.spdk.driver import SpdkDriver
 
@@ -193,34 +194,47 @@ class BamBackend(StorageBackend):
 
     def io(self, lba, nbytes, is_write=False, payload=None, target=None,
            target_offset=0, ssd_index=None) -> Generator:
-        if self.reliability is None:
-            cqe = yield from self.system.io(
-                lba,
-                nbytes,
+        # a BaM synchronous load is a causal entry point of its own:
+        # every io() mints (and finishes) one request context
+        tracer = self.env.tracer
+        ctx = (
+            mint_context(tracer, "bam", lba=lba, is_write=is_write)
+            if tracer.enabled else None
+        )
+        span = ctx.begin("load_wait", lba=lba) if ctx is not None else None
+        try:
+            if self.reliability is None:
+                cqe = yield from self.system.io(
+                    lba,
+                    nbytes,
+                    is_write=is_write,
+                    payload=payload,
+                    target=target,
+                    target_offset=target_offset,
+                    ssd_index=ssd_index,
+                )
+                return cqe
+            ssd_id, local_lba = self._resolve_ssd(lba, ssd_index)
+            cqe = yield from self._reliable_io(
+                lambda: self.system.io(
+                    local_lba,
+                    nbytes,
+                    is_write=is_write,
+                    payload=payload,
+                    target=target,
+                    target_offset=target_offset,
+                    ssd_index=ssd_id,
+                ),
+                ssd_id=ssd_id,
+                lba=local_lba,
+                nbytes=nbytes,
                 is_write=is_write,
-                payload=payload,
-                target=target,
-                target_offset=target_offset,
-                ssd_index=ssd_index,
             )
             return cqe
-        ssd_id, local_lba = self._resolve_ssd(lba, ssd_index)
-        cqe = yield from self._reliable_io(
-            lambda: self.system.io(
-                local_lba,
-                nbytes,
-                is_write=is_write,
-                payload=payload,
-                target=target,
-                target_offset=target_offset,
-                ssd_index=ssd_id,
-            ),
-            ssd_id=ssd_id,
-            lba=local_lba,
-            nbytes=nbytes,
-            is_write=is_write,
-        )
-        return cqe
+        finally:
+            if ctx is not None:
+                ctx.end(span)
+                ctx.finish()
 
     def bulk_time(self, total_bytes, granularity=4096, is_write=False,
                   **kwargs):
@@ -241,34 +255,47 @@ class GdsBackend(StorageBackend):
 
     def io(self, lba, nbytes, is_write=False, payload=None, target=None,
            target_offset=0, ssd_index=None) -> Generator:
-        if self.reliability is None:
-            cqe = yield from self.driver.io(
-                lba,
-                nbytes,
+        # a GDS synchronous load is a causal entry point of its own:
+        # every io() mints (and finishes) one request context
+        tracer = self.env.tracer
+        ctx = (
+            mint_context(tracer, "gds", lba=lba, is_write=is_write)
+            if tracer.enabled else None
+        )
+        span = ctx.begin("load_wait", lba=lba) if ctx is not None else None
+        try:
+            if self.reliability is None:
+                cqe = yield from self.driver.io(
+                    lba,
+                    nbytes,
+                    is_write=is_write,
+                    payload=payload,
+                    target=target,
+                    target_offset=target_offset,
+                    ssd_index=ssd_index,
+                )
+                return cqe
+            ssd_id, local_lba = self._resolve_ssd(lba, ssd_index)
+            cqe = yield from self._reliable_io(
+                lambda: self.driver.io(
+                    local_lba,
+                    nbytes,
+                    is_write=is_write,
+                    payload=payload,
+                    target=target,
+                    target_offset=target_offset,
+                    ssd_index=ssd_id,
+                ),
+                ssd_id=ssd_id,
+                lba=local_lba,
+                nbytes=nbytes,
                 is_write=is_write,
-                payload=payload,
-                target=target,
-                target_offset=target_offset,
-                ssd_index=ssd_index,
             )
             return cqe
-        ssd_id, local_lba = self._resolve_ssd(lba, ssd_index)
-        cqe = yield from self._reliable_io(
-            lambda: self.driver.io(
-                local_lba,
-                nbytes,
-                is_write=is_write,
-                payload=payload,
-                target=target,
-                target_offset=target_offset,
-                ssd_index=ssd_id,
-            ),
-            ssd_id=ssd_id,
-            lba=local_lba,
-            nbytes=nbytes,
-            is_write=is_write,
-        )
-        return cqe
+        finally:
+            if ctx is not None:
+                ctx.end(span)
+                ctx.finish()
 
 
 class CamBackend(StorageBackend):

@@ -237,7 +237,7 @@ class GpuCache:
 
     def access_batch(
         self, lbas: Sequence[int], granularity: Optional[int] = None,
-        consumer=0,
+        consumer=0, trace_ctx=None,
     ) -> CachePlan:
         """Plan a batch of fixed-granularity accesses (one line each).
 
@@ -274,6 +274,15 @@ class GpuCache:
                 predictions.extend(detector.observe(line))
         if detector is not None and predictions:
             self._speculate(plan, predictions, detector)
+        if trace_ctx is not None:
+            # zero-duration marker: ties the hit/miss split of this
+            # access to the originating request's causal trace
+            trace_ctx.instant(
+                "gpucache_access",
+                hits=len(plan.hit_lbas),
+                misses=len(plan.missing_lbas),
+                speculative=len(plan.speculative_lbas),
+            )
         self._publish()
         return plan
 

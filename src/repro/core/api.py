@@ -31,6 +31,7 @@ from repro.core.regions import BatchArgs, SyncRegions
 from repro.errors import APIUsageError
 from repro.hw.gpu import GPUBuffer
 from repro.hw.platform import Platform
+from repro.obs.causal import mint_context
 
 
 class CamContext:
@@ -127,10 +128,15 @@ class CamContext:
 class _PendingBatch:
     """A prefetch/write_back in flight: its regions + completion event."""
 
-    def __init__(self, regions: SyncRegions, done, rung_at: float):
+    def __init__(self, regions: SyncRegions, done, rung_at: float,
+                 trace_ctx=None, ctx_owned: bool = False):
         self.regions = regions
         self.done = done
         self.rung_at = rung_at
+        #: causal context the batch belongs to, and whether this API
+        #: minted it (and must finish it at synchronize)
+        self.trace_ctx = trace_ctx
+        self.ctx_owned = ctx_owned
 
 
 class CamDeviceAPI:
@@ -143,6 +149,10 @@ class CamDeviceAPI:
         self._pending_writeback: Optional[_PendingBatch] = None
         #: timestamp when the last synchronize returned (compute-time probe)
         self._last_sync_return: Optional[float] = None
+        #: caller-bound :class:`~repro.obs.causal.RequestContext`; when
+        #: set (e.g. by the serving engine for one turn), batches join
+        #: that request instead of minting their own context
+        self.trace_ctx = None
 
     # -- prefetch ----------------------------------------------------------
     def prefetch(
@@ -243,6 +253,18 @@ class CamDeviceAPI:
         # leading-thread doorbell cost — the only GPU time I/O ever takes
         yield self.env.timeout(context.config.doorbell_time)
 
+        # the device API is a causal entry point: join the bound request
+        # context if the caller set one, otherwise mint a fresh one that
+        # the matching synchronize will finish
+        tracer = self.env.tracer
+        trace_ctx = self.trace_ctx
+        ctx_owned = False
+        if tracer.enabled and trace_ctx is None:
+            trace_ctx = mint_context(
+                tracer, "write_back" if is_write else "prefetch",
+                requests=len(lbas),
+            )
+            ctx_owned = True
         batch = BatchRequest(
             lbas=lbas,
             granularity=granularity,
@@ -250,9 +272,21 @@ class CamDeviceAPI:
             dest=buffer,
             payloads=payloads,
             regions=regions,
+            context=trace_ctx,
         )
-        done = context.manager.ring(batch)
-        setattr(self, slot, _PendingBatch(regions, done, self.env.now))
+        try:
+            done = context.manager.ring(batch)
+        except Exception:
+            # shed at admission: close a context we minted ourselves so
+            # the active-context gauge cannot leak on the retry path
+            if ctx_owned and trace_ctx is not None:
+                trace_ctx.finish(shed=True)
+            raise
+        setattr(
+            self, slot,
+            _PendingBatch(regions, done, self.env.now,
+                          trace_ctx=trace_ctx, ctx_owned=ctx_owned),
+        )
 
     def _synchronize(self, kind: str) -> Generator:
         slot = "_pending_writeback" if kind == "write_back" else (
@@ -268,6 +302,8 @@ class CamDeviceAPI:
         finally:
             # clear the slot on failure too, so the caller can retry
             setattr(self, slot, None)
+            if pending.ctx_owned and pending.trace_ctx is not None:
+                pending.trace_ctx.finish()
         self._last_sync_return = self.env.now
         context = self.context
         if context.autotuner is not None and kind == "prefetch":

@@ -29,6 +29,7 @@ from repro.errors import (
     RetryExhaustedError,
 )
 from repro.hw.platform import Platform
+from repro.obs.causal import mint_context
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Store
 from repro.sim.stats import Counter, LatencyStat
@@ -48,6 +49,12 @@ class BatchRequest:
     regions: object = None  # SyncRegions to flag on completion
     submit_time: float = 0.0
     trace_span: object = None  # open "batch" span when tracing is enabled
+    #: originating :class:`~repro.obs.causal.RequestContext` (or None);
+    #: the batch span flow-links back to it via a ``links`` tag
+    context: object = None
+    #: True when the manager minted the context itself at ``ring`` (the
+    #: raw entry point) and therefore owns finishing it
+    context_owned: bool = False
 
     @property
     def request_count(self) -> int:
@@ -157,11 +164,27 @@ class CamManager:
         batch.submit_time = self.env.now
         tracer = self.env.tracer
         if tracer.enabled:
+            context = batch.context
+            if context is None:
+                # raw ring() is itself an entry point: mint the causal
+                # context here so even bare batches get a trace_id
+                context = mint_context(tracer, "batch")
+                batch.context = context
+                batch.context_owned = True
+            causal_tags = (
+                {
+                    "parent": context.root,
+                    "trace_id": context.trace_id,
+                    "links": [context.trace_id],
+                }
+                if context is not None else {}
+            )
             batch.trace_span = tracer.begin(
                 "batch",
                 requests=batch.request_count,
                 bytes=batch.total_bytes,
                 is_write=batch.is_write,
+                **causal_tags,
             )
         self._inbox.put(batch)
         return batch.done
@@ -211,6 +234,10 @@ class CamManager:
                 batch.request_count,
                 batch.total_bytes,
                 len(failures),
+                trace_id=(
+                    batch.context.trace_id
+                    if batch.context is not None else None
+                ),
             )
         tracer = self.env.tracer
         if tracer.enabled:
@@ -222,6 +249,8 @@ class CamManager:
             )
             if batch.trace_span is not None:
                 tracer.end(batch.trace_span, failures=len(failures))
+            if batch.context is not None and batch.context_owned:
+                batch.context.finish(failures=len(failures))
         if batch.regions is not None:
             batch.regions.signal_completion()
         if failures:

@@ -309,17 +309,41 @@ class FabricLink:
             )
 
     # -- transfers ------------------------------------------------------
-    def transfer(self, nbytes: int) -> Generator:
+    def transfer(self, nbytes: int, trace_ctx=None) -> Generator:
         """Process: move one ``nbytes`` message across the link.
 
         Raises :class:`LinkPartitionedError` after ``partition_detect``
         seconds when the link is (or goes) down, and
         :class:`NetworkError` once ``max_retransmits`` retransmissions
         were lost.  Never hangs.
+
+        ``trace_ctx`` (a :class:`~repro.obs.causal.RequestContext`)
+        wraps the whole transfer — retransmissions and partition
+        detection included — in one ``fabric_transfer`` span so the
+        critical-path analyzer can attribute fabric time per request.
         """
         env = self.env
         self._seq += 1
         seq = self._seq
+        attempts = 0
+        fabric_span = (
+            trace_ctx.begin(
+                "fabric_transfer", link=self.link_id, bytes=nbytes
+            )
+            if trace_ctx is not None else None
+        )
+        try:
+            result = yield from self._transfer_inner(
+                nbytes, seq, fabric_span
+            )
+            return result
+        finally:
+            if fabric_span is not None:
+                trace_ctx.end(fabric_span)
+
+    def _transfer_inner(self, nbytes: int, seq: int,
+                        fabric_span) -> Generator:
+        env = self.env
         attempts = 0
         while True:
             if self.is_partitioned():

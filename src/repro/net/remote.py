@@ -63,6 +63,7 @@ class RemoteFlashBackend(StorageBackend):
     """Replicated remote flash behind deadline + hedged + breaker reads."""
 
     model_name = "remote"
+    accepts_trace_ctx = True
 
     def __init__(
         self,
@@ -155,21 +156,27 @@ class RemoteFlashBackend(StorageBackend):
         payload,
         target,
         target_offset: int,
+        trace_ctx=None,
     ) -> Generator:
         """One request against one node: command frame out, the node's
         own array I/O, response frame back.  Returns ``(cqe, error)``
         and feeds the node's breaker — never raises, so hedge legs can
         be abandoned safely."""
         try:
-            yield from node.link.transfer(self.request_bytes)
+            yield from node.link.transfer(
+                self.request_bytes, trace_ctx=trace_ctx
+            )
             if is_write:
-                yield from node.link.transfer(nbytes)
+                yield from node.link.transfer(
+                    nbytes, trace_ctx=trace_ctx
+                )
             cqe = yield from node.backend.io(
                 lba, nbytes, is_write=is_write, payload=payload,
                 target=target, target_offset=target_offset,
             )
             yield from node.link.transfer(
-                self.response_bytes if is_write else nbytes
+                self.response_bytes if is_write else nbytes,
+                trace_ctx=trace_ctx,
             )
         except NetworkError as error:
             if error.node_id is None:
@@ -193,6 +200,7 @@ class RemoteFlashBackend(StorageBackend):
     # -- reads: hedged race (never raises; returns (cqe, error)) --------
     def _read_race(
         self, eligible, lba, nbytes, target, target_offset, started,
+        trace_ctx=None,
     ) -> Generator:
         """One read against the replica set.
 
@@ -209,7 +217,7 @@ class RemoteFlashBackend(StorageBackend):
             started.append(node.node_id)
             return env.process(
                 self._leg(node, lba, nbytes, False, None, target,
-                          target_offset)
+                          target_offset, trace_ctx=trace_ctx)
             )
 
         legs = [launch()]
@@ -219,6 +227,7 @@ class RemoteFlashBackend(StorageBackend):
             else None
         )
         hedge_index = None
+        hedge_span = None
         failure = None
         harvested = set()
         while True:
@@ -228,8 +237,11 @@ class RemoteFlashBackend(StorageBackend):
                 if leg.processed and index not in harvested:
                     harvested.add(index)
                     if self._leg_ok(leg.value):
-                        if index == hedge_index:
+                        won = index == hedge_index
+                        if won:
                             self.hedge_wins.add()
+                        if hedge_span is not None:
+                            trace_ctx.end(hedge_span, hedge_won=won)
                         return leg.value[0], None
                     if failure is None:
                         failure = leg.value
@@ -255,14 +267,25 @@ class RemoteFlashBackend(StorageBackend):
                 hedge_node = untried[0]
                 tracer = env.tracer
                 if tracer.enabled:
-                    tracer.instant(
-                        "net_hedged_read",
+                    # the hedge leg flow-links back to the originating
+                    # request (links=[trace_id]) so the analyzer and
+                    # the Perfetto flow arrows can tie them together
+                    hedge_tags = dict(
                         node=hedge_node.node_id,
                         primary=eligible[0].node_id,
                         lba=lba,
                     )
+                    if trace_ctx is not None:
+                        hedge_tags["trace_id"] = trace_ctx.trace_id
+                        hedge_tags["links"] = [trace_ctx.trace_id]
+                        hedge_span = trace_ctx.begin(
+                            "hedge_wait", node=hedge_node.node_id
+                        )
+                    tracer.instant("net_hedged_read", **hedge_tags)
                 hedge_index = len(legs)
                 legs.append(launch())
+        if hedge_span is not None:
+            trace_ctx.end(hedge_span, hedge_won=False)
         cqe, error = failure
         if error is not None:
             return None, error
@@ -270,14 +293,15 @@ class RemoteFlashBackend(StorageBackend):
 
     # -- writes: replicate (never raises; returns (cqe, error)) ---------
     def _write_fanout(
-        self, eligible, lba, nbytes, payload, started,
+        self, eligible, lba, nbytes, payload, started, trace_ctx=None,
     ) -> Generator:
         env = self.env
         legs = []
         for node in eligible:
             legs.append(
                 env.process(
-                    self._leg(node, lba, nbytes, True, payload, None, 0)
+                    self._leg(node, lba, nbytes, True, payload, None, 0,
+                              trace_ctx=trace_ctx)
                 )
             )
             started.append(node.node_id)
@@ -312,6 +336,7 @@ class RemoteFlashBackend(StorageBackend):
         target=None,
         target_offset: int = 0,
         ssd_index: Optional[int] = None,
+        trace_ctx=None,
     ) -> Generator:
         eligible = self._eligible()
         if is_write and self.write_acks == "all":
@@ -334,12 +359,14 @@ class RemoteFlashBackend(StorageBackend):
         started: List[int] = []
         if is_write:
             race = self.env.process(
-                self._write_fanout(eligible, lba, nbytes, payload, started)
+                self._write_fanout(eligible, lba, nbytes, payload,
+                                   started, trace_ctx=trace_ctx)
             )
         else:
             race = self.env.process(
                 self._read_race(
-                    eligible, lba, nbytes, target, target_offset, started
+                    eligible, lba, nbytes, target, target_offset,
+                    started, trace_ctx=trace_ctx,
                 )
             )
         try:

@@ -49,6 +49,8 @@ from repro.sim.stats import Counter
 class TieredBackend(StorageBackend):
     """Local write-back cache tier over a remote flash backend."""
 
+    accepts_trace_ctx = True
+
     def __init__(
         self,
         local: StorageBackend,
@@ -257,11 +259,16 @@ class TieredBackend(StorageBackend):
         return True
 
     # -- the dirty log ----------------------------------------------------
-    def flush(self, max_pages: Optional[int] = None) -> Generator:
+    def flush(self, max_pages: Optional[int] = None,
+              trace_ctx=None) -> Generator:
         """Process: write dirty pages out to the remote tier (oldest
         first).  Never raises: a fabric failure flips the tier to
         degraded mode and leaves the remaining pages queued.  Returns
-        the number of pages flushed."""
+        the number of pages flushed.
+
+        ``trace_ctx`` attributes the remote write legs to the request
+        whose write tripped the watermark (it pays the flush latency).
+        """
         flushed = 0
         for page in list(self._dirty):
             if max_pages is not None and flushed >= max_pages:
@@ -279,7 +286,7 @@ class TieredBackend(StorageBackend):
                 try:
                     yield from self.remote.io(
                         lba, self.page_bytes, is_write=True,
-                        payload=payload,
+                        payload=payload, trace_ctx=trace_ctx,
                     )
                 except NetworkError as error:
                     self._enter_degraded(error)
@@ -308,7 +315,7 @@ class TieredBackend(StorageBackend):
     # -- remote span fetch (read miss / write allocate) -------------------
     def _fetch_span(
         self, missing, span_lba: int, span_nbytes: int, target,
-        target_offset: int,
+        target_offset: int, trace_ctx=None,
     ) -> Generator:
         """Process: fetch a span from remote, admit the missing runs.
 
@@ -317,9 +324,28 @@ class TieredBackend(StorageBackend):
         possibly dirty with newer data — and must not be overwritten.
         The caller holds the op locks for ``missing``, so no write can
         land on those pages while the remote read is in flight."""
+        fill_span = (
+            trace_ctx.begin("cache_fill", pages=len(missing),
+                            bytes=span_nbytes)
+            if trace_ctx is not None else None
+        )
+        try:
+            cqe = yield from self._fetch_span_inner(
+                missing, span_lba, span_nbytes, target, target_offset,
+                trace_ctx,
+            )
+            return cqe
+        finally:
+            if fill_span is not None:
+                trace_ctx.end(fill_span)
+
+    def _fetch_span_inner(
+        self, missing, span_lba: int, span_nbytes: int, target,
+        target_offset: int, trace_ctx=None,
+    ) -> Generator:
         cqe = yield from self.remote.io(
             span_lba, span_nbytes, target=target,
-            target_offset=target_offset,
+            target_offset=target_offset, trace_ctx=trace_ctx,
         )
         block = self.platform.config.ssd.block_size
         span_start = span_lba * block
@@ -354,16 +380,21 @@ class TieredBackend(StorageBackend):
         target=None,
         target_offset: int = 0,
         ssd_index: Optional[int] = None,
+        trace_ctx=None,
     ) -> Generator:
         if is_write:
             cqe = yield from self._write(
-                lba, nbytes, payload, target, target_offset
+                lba, nbytes, payload, target, target_offset,
+                trace_ctx=trace_ctx,
             )
         else:
-            cqe = yield from self._read(lba, nbytes, target, target_offset)
+            cqe = yield from self._read(lba, nbytes, target,
+                                        target_offset,
+                                        trace_ctx=trace_ctx)
         return cqe
 
-    def _read(self, lba, nbytes, target, target_offset) -> Generator:
+    def _read(self, lba, nbytes, target, target_offset,
+              trace_ctx=None) -> Generator:
         pages = list(self._pages_of(lba, nbytes))
         missing = [page for page in pages if page not in self._resident]
         if not missing:
@@ -388,7 +419,8 @@ class TieredBackend(StorageBackend):
             missing = [p for p in pages if p not in self._resident]
             if not missing:
                 cqe = yield from self._read(lba, nbytes, target,
-                                            target_offset)
+                                            target_offset,
+                                            trace_ctx=trace_ctx)
                 return cqe
 
         held = yield from self._lock_missing(pages)
@@ -421,6 +453,7 @@ class TieredBackend(StorageBackend):
                 cqe = yield from self._fetch_span(
                     missing, span_lba, span_end - span_start, target,
                     target_offset + (span_start - start_byte),
+                    trace_ctx=trace_ctx,
                 )
             except NetworkError as error:
                 self._enter_degraded(error)
@@ -461,8 +494,8 @@ class TieredBackend(StorageBackend):
         self._publish()
         return cqe
 
-    def _write(self, lba, nbytes, payload, target, target_offset
-               ) -> Generator:
+    def _write(self, lba, nbytes, payload, target, target_offset,
+               trace_ctx=None) -> Generator:
         pages = list(self._pages_of(lba, nbytes))
         block = self.platform.config.ssd.block_size
         start_byte = lba * block
@@ -489,6 +522,7 @@ class TieredBackend(StorageBackend):
                         yield from self._fetch_span(
                             [page], self._page_lba(page),
                             self.page_bytes, None, 0,
+                            trace_ctx=trace_ctx,
                         )
                     except NetworkError as error:
                         self._enter_degraded(error)
@@ -509,7 +543,8 @@ class TieredBackend(StorageBackend):
             self.queued_writes.add()
             yield from self._maybe_heal()
         elif len(self._dirty) >= self.flush_watermark:
-            yield from self.flush(max_pages=self.flush_burst)
+            yield from self.flush(max_pages=self.flush_burst,
+                                  trace_ctx=trace_ctx)
         self._publish()
         return cqe
 

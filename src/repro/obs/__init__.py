@@ -15,6 +15,14 @@ how to open a trace in Perfetto.
 """
 
 from repro.obs.analyzer import TraceAnalyzer
+from repro.obs.causal import (
+    CriticalPathAnalyzer,
+    RequestContext,
+    STAGE_OF,
+    link_of,
+    mint_context,
+    stage_of,
+)
 from repro.obs.export import (
     export_perfetto_json,
     export_trace_csv,
@@ -51,6 +59,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CriticalPathAnalyzer",
     "DEFAULT_CAPACITY",
     "FlightRecorder",
     "Metrics",
@@ -60,7 +69,9 @@ __all__ = [
     "NULL_TRACER",
     "NullMetrics",
     "NullTracer",
+    "RequestContext",
     "SPAN_KINDS",
+    "STAGE_OF",
     "SloMonitor",
     "SloObjective",
     "SloViolation",
@@ -75,7 +86,10 @@ __all__ = [
     "install_metrics",
     "install_sampler",
     "install_tracer",
+    "link_of",
     "load_trace_csv",
+    "mint_context",
+    "stage_of",
     "parse_openmetrics_text",
     "to_openmetrics_text",
     "to_trace_events",

@@ -50,11 +50,29 @@ class TraceAnalyzer:
         return {
             "spans": len(self.spans),
             "dropped_spans": self.dropped_spans,
+            "orphan_spans": len(self.orphan_spans()),
             "complete": self.complete,
             "window_seconds": t1 - t0,
             "seconds_by_name": self.seconds_by_name(),
             "count_by_name": self.count_by_name(),
         }
+
+    def orphan_spans(self) -> List[Span]:
+        """Spans whose parent is missing from the trace.
+
+        Ring-buffer eviction drops the *oldest* spans first, so a
+        long-lived parent (a ``batch``, a ``request`` root) can be
+        evicted while its children survive.  Such children carry a
+        dangling ``parent_id``; treating them as roots silently
+        mis-shapes every tree-walking aggregate, so they are detected
+        and counted here instead.
+        """
+        ids = {span.span_id for span in self.spans}
+        return [
+            span
+            for span in self.spans
+            if span.parent_id is not None and span.parent_id not in ids
+        ]
 
     # -- indexing -------------------------------------------------------
     def _child_index(self) -> Dict[Optional[int], List[Span]]:

@@ -1,0 +1,417 @@
+"""Causal request tracing and critical-path analysis (ISSUE 10).
+
+A :class:`RequestContext` is minted at every entry point into the stack
+(``CamDeviceAPI`` prefetch/write_back, ``CamManager.ring``, BaM/GDS
+synchronous loads, ``ServingEngine`` turns).  It owns a ``request`` root
+span carrying a process-unique ``trace_id`` and hands out child spans
+tagged with the same id, so everything a request touches — admission
+backoff, the coalesced batch walk, cache tiers, the fabric path — can be
+reassembled into one span DAG after the fact.
+
+Causality across the fan-in points (one coalesced batch serving a
+request, a hedged remote read racing the primary) is recorded as **flow
+links**: the shared span carries a ``links=[trace_id, ...]`` tag instead
+of a parent pointer, because a parent edge cannot express N:1 fan-in.
+:class:`CriticalPathAnalyzer` follows both edge kinds.
+
+Everything here follows the PR 1 zero-cost contract: with the
+:data:`~repro.obs.tracer.NULL_TRACER` installed, ``mint_context``
+returns ``None`` and every instrumentation site is a single ``is None``
+test.  No code in this module consumes simulated time, so traced and
+untraced runs replay the identical event history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.tracer import Span, Tracer
+
+#: span name -> exclusive stage bucket for critical-path attribution
+STAGE_OF: Dict[str, str] = {
+    "queue_wait": "queue_wait",
+    "overload_backoff": "admission",
+    "retry": "admission",
+    "doorbell": "reactor_cpu",
+    "doorbell_poll": "reactor_cpu",
+    "submit": "reactor_cpu",
+    "completion_signal": "reactor_cpu",
+    "nvme_io": "media",
+    "pcie_transfer": "pcie",
+    "fabric_transfer": "fabric",
+    "hedge_wait": "hedge",
+    "cache_fill": "cache_fill",
+    "cache_hit": "cache_fill",
+    "prefill": "compute",
+    "decode": "compute",
+    "load_wait": "io_wait",
+    "writeback_wait": "io_wait",
+}
+
+#: structural spans that group children but never win a time segment
+CONTAINER_SPANS = frozenset({"request", "batch"})
+
+#: the attribution bucket for time inside the request window that no
+#: stage span covers (reported, never silently absorbed)
+UNTRACKED = "untracked"
+
+
+def stage_of(name: str) -> Optional[str]:
+    """Stage bucket for a span name (``None`` for container spans)."""
+    if name in CONTAINER_SPANS:
+        return None
+    return STAGE_OF.get(name, "other")
+
+
+class RequestContext:
+    """One request's causal identity: a trace id plus its root span.
+
+    Minted via :func:`mint_context`; instrumentation sites receive either
+    a context or ``None`` (tracing disabled) and guard with ``is None``.
+    Child spans opened through :meth:`begin` inherit the trace-id tag and
+    default to the root as parent, so intra-request causality needs no
+    extra bookkeeping at the call sites.
+    """
+
+    __slots__ = ("tracer", "trace_id", "kind", "root", "closed")
+
+    def __init__(self, tracer: Tracer, trace_id: int, kind: str,
+                 root: Span):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.kind = kind
+        self.root = root
+        self.closed = False
+
+    # -- span helpers ---------------------------------------------------
+    def begin(self, name: str, parent: Optional[Span] = None,
+              **tags) -> Span:
+        """Open a child span tagged with this request's trace id."""
+        return self.tracer.begin(
+            name, parent=parent if parent is not None else self.root,
+            trace_id=self.trace_id, **tags,
+        )
+
+    def end(self, span: Span, **tags) -> Span:
+        return self.tracer.end(span, **tags)
+
+    def instant(self, name: str, parent: Optional[Span] = None,
+                **tags) -> Span:
+        return self.tracer.instant(
+            name, parent=parent if parent is not None else self.root,
+            trace_id=self.trace_id, **tags,
+        )
+
+    def finish(self, **tags) -> None:
+        """Close the root span and feed the request-latency histogram.
+
+        Idempotent: redundant finishes (error paths unwinding through
+        ``finally`` blocks) are no-ops.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self.tracer.end(self.root, **tags)
+        self.tracer.contexts_active -= 1
+        self.tracer.contexts_completed += 1
+        metrics = getattr(self.tracer.env, "metrics", None)
+        if metrics is not None and metrics.enabled:
+            metrics.request_done(
+                self.kind, self.root.duration, self.trace_id
+            )
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<RequestContext #{self.trace_id} {self.kind} {state}>"
+
+
+def mint_context(tracer, kind: str, **tags) -> Optional[RequestContext]:
+    """Mint a :class:`RequestContext`, or ``None`` if tracing is off.
+
+    Also ``None`` when the tracer records spans but has the causal
+    layer switched off (``install_tracer(env, causal=False)``) — every
+    instrumentation site degrades to its pre-causal shape through the
+    same ``ctx is None`` guard.
+    """
+    if not tracer.enabled or not getattr(tracer, "causal", True):
+        return None
+    trace_id = tracer.new_trace_id()
+    root = tracer.begin("request", trace_id=trace_id, kind=kind, **tags)
+    tracer.contexts_started += 1
+    tracer.contexts_active += 1
+    return RequestContext(tracer, trace_id, kind, root)
+
+
+def link_of(span: Span) -> Tuple[int, ...]:
+    """The trace ids a span flow-links to (empty for unlinked spans)."""
+    links = span.tags.get("links")
+    if not links:
+        return ()
+    return tuple(int(t) for t in links)
+
+
+class CriticalPathAnalyzer:
+    """Decompose completed requests into exclusive stage contributions.
+
+    ``source`` is a tracer, a ``TraceAnalyzer`` or any iterable of spans.
+    The per-request span set is assembled from three edge kinds:
+
+    1. spans tagged ``trace_id=<id>`` (direct children),
+    2. spans whose ``links`` tag contains ``<id>`` (flow fan-in, e.g.
+       the coalesced batch span or a hedged remote read), and
+    3. parent-edge descendants of either (the doorbell poll, per-request
+       submit work, NVMe service and PCIe transfer under a batch).
+
+    Attribution clips every span to the request window, then sweeps the
+    interval boundaries assigning each elementary segment to the
+    *deepest* active non-container span — so ``nvme_io`` beats the
+    engine-level ``load_wait`` it overlaps, and the residue that no
+    stage span covers is reported as ``"untracked"`` rather than
+    silently absorbed.  The per-stage seconds therefore always sum to
+    the request's wall latency exactly.
+    """
+
+    def __init__(self, source):
+        if hasattr(source, "spans"):
+            source = source.spans()
+        self.spans: List[Span] = [s for s in source if s.closed]
+        self._by_id: Dict[int, Span] = {s.span_id: s for s in self.spans}
+        self._children: Dict[int, List[Span]] = {}
+        self._roots: Dict[int, Span] = {}
+        self._tagged: Dict[int, List[Span]] = {}
+        self._linked: Dict[int, List[Span]] = {}
+        self._attr_cache: Dict[int, Dict[str, float]] = {}
+        for span in self.spans:
+            if span.parent_id is not None:
+                self._children.setdefault(span.parent_id, []).append(span)
+            tid = span.tags.get("trace_id")
+            if tid is not None:
+                tid = int(tid)
+                if span.name == "request":
+                    self._roots[tid] = span
+                else:
+                    self._tagged.setdefault(tid, []).append(span)
+            for linked in link_of(span):
+                self._linked.setdefault(linked, []).append(span)
+
+    # -- request discovery ---------------------------------------------
+    def request_ids(self) -> List[int]:
+        return sorted(self._roots)
+
+    def requests(self, kind: Optional[str] = None) -> List[Span]:
+        """Completed request roots, oldest first."""
+        roots = [self._roots[tid] for tid in sorted(self._roots)]
+        if kind is not None:
+            roots = [r for r in roots if r.tags.get("kind") == kind]
+        return roots
+
+    def root(self, trace_id: int) -> Span:
+        try:
+            return self._roots[int(trace_id)]
+        except KeyError:
+            raise KeyError(
+                f"no completed request with trace_id={trace_id} "
+                f"(known: {self.request_ids()[:10]}...)"
+            ) from None
+
+    def slowest(self, n: int = 10,
+                kind: Optional[str] = None) -> List[Span]:
+        roots = self.requests(kind=kind)
+        roots.sort(key=lambda s: (-s.duration, s.tags["trace_id"]))
+        return roots[:n]
+
+    # -- span-set assembly ---------------------------------------------
+    def request_spans(self, trace_id: int) -> List[Span]:
+        """Every span causally tied to ``trace_id`` (root included)."""
+        trace_id = int(trace_id)
+        root = self.root(trace_id)
+        members: Dict[int, Span] = {root.span_id: root}
+        frontier = [root]
+        frontier.extend(self._tagged.get(trace_id, ()))
+        frontier.extend(self._linked.get(trace_id, ()))
+        while frontier:
+            span = frontier.pop()
+            if span.span_id in members and span is not root:
+                continue
+            members[span.span_id] = span
+            for child in self._children.get(span.span_id, ()):
+                if child.span_id not in members:
+                    frontier.append(child)
+        return sorted(members.values(),
+                      key=lambda s: (s.begin, s.span_id))
+
+    def _depths(self, root: Span,
+                members: List[Span]) -> Dict[int, int]:
+        """Distance from the root; flow-linked spans enter at depth 1."""
+        ids = {s.span_id for s in members}
+        depths = {root.span_id: 0}
+        pending = [s for s in members if s is not root]
+        # iterate to fixpoint: parents resolve before children; spans
+        # whose parent is outside the set attach at depth 1 (flow edge)
+        for _ in range(len(pending) + 1):
+            progressed = False
+            for span in pending:
+                if span.span_id in depths:
+                    continue
+                parent = span.parent_id
+                if parent is None or parent not in ids:
+                    depths[span.span_id] = 1
+                    progressed = True
+                elif parent in depths:
+                    depths[span.span_id] = depths[parent] + 1
+                    progressed = True
+            if not progressed:
+                break
+        for span in pending:  # unreachable cycles: flat depth
+            depths.setdefault(span.span_id, 1)
+        return depths
+
+    # -- attribution ----------------------------------------------------
+    def attribute(self, trace_id: int) -> Dict[str, float]:
+        """Exclusive seconds per stage; sums to the request wall time."""
+        trace_id = int(trace_id)
+        cached = self._attr_cache.get(trace_id)
+        if cached is not None:
+            return dict(cached)
+        root = self.root(trace_id)
+        members = self.request_spans(trace_id)
+        depths = self._depths(root, members)
+        lo, hi = root.begin, root.end
+        candidates = []  # (begin, end, depth, stage, span_id)
+        for span in members:
+            stage = stage_of(span.name)
+            if stage is None:
+                continue
+            begin = max(span.begin, lo)
+            end = min(span.end, hi)
+            if end <= begin:
+                continue
+            candidates.append(
+                (begin, end, depths[span.span_id], stage, span.span_id)
+            )
+        bounds = {lo, hi}
+        for begin, end, _, _, _ in candidates:
+            bounds.add(begin)
+            bounds.add(end)
+        cuts = sorted(bounds)
+        result: Dict[str, float] = {}
+        untracked = 0.0
+        for left, right in zip(cuts, cuts[1:]):
+            width = right - left
+            if width <= 0.0:
+                continue
+            best = None
+            for begin, end, depth, stage, span_id in candidates:
+                if begin <= left and end >= right:
+                    key = (depth, begin, span_id)
+                    if best is None or key > best[0]:
+                        best = (key, stage)
+            if best is None:
+                untracked += width
+            else:
+                result[best[1]] = result.get(best[1], 0.0) + width
+        if untracked > 0.0:
+            result[UNTRACKED] = untracked
+        self._attr_cache[trace_id] = result
+        return dict(result)
+
+    def coverage(self, trace_id: int) -> float:
+        """Fraction of the request wall attributed to named stages."""
+        root = self.root(trace_id)
+        if root.duration <= 0.0:
+            return 1.0
+        attributed = self.attribute(trace_id)
+        tracked = sum(
+            v for k, v in attributed.items() if k != UNTRACKED
+        )
+        return tracked / root.duration
+
+    def waterfall(self, trace_id: int) -> List[Dict[str, object]]:
+        """Ordered rows for a per-request waterfall rendering."""
+        root = self.root(trace_id)
+        members = self.request_spans(trace_id)
+        depths = self._depths(root, members)
+        rows = []
+        for span in members:
+            rows.append(
+                {
+                    "span": span,
+                    "name": span.name,
+                    "depth": depths[span.span_id],
+                    "offset": span.begin - root.begin,
+                    "duration": span.duration,
+                    "stage": stage_of(span.name),
+                    "links": link_of(span),
+                }
+            )
+        rows.sort(key=lambda r: (r["offset"], r["depth"],
+                                 r["span"].span_id))
+        return rows
+
+    # -- tail attribution ----------------------------------------------
+    @staticmethod
+    def _quantile(values: List[float], q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def _cohort_means(
+        self, roots: Iterable[Span]
+    ) -> Tuple[Dict[str, float], int]:
+        totals: Dict[str, float] = {}
+        count = 0
+        for root in roots:
+            count += 1
+            for stage, secs in self.attribute(
+                    int(root.tags["trace_id"])).items():
+                totals[stage] = totals.get(stage, 0.0) + secs
+        if count:
+            totals = {k: v / count for k, v in totals.items()}
+        return totals, count
+
+    def attribute_cohorts(
+        self,
+        upper_q: float = 0.99,
+        lower_q: float = 0.50,
+        kind: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Compare the tail cohort's stage mix against the median's.
+
+        Selects the requests at or above the ``upper_q`` latency
+        quantile and those at or below ``lower_q``, averages each
+        cohort's stage attribution, and reports the per-stage delta —
+        the stage with the largest positive delta is what makes the
+        tail slow.
+        """
+        roots = self.requests(kind=kind)
+        if not roots:
+            raise ValueError("no completed requests to attribute")
+        durations = [r.duration for r in roots]
+        upper_cut = self._quantile(durations, upper_q)
+        lower_cut = self._quantile(durations, lower_q)
+        upper = [r for r in roots if r.duration >= upper_cut]
+        lower = [r for r in roots if r.duration <= lower_cut]
+        upper_means, upper_n = self._cohort_means(upper)
+        lower_means, lower_n = self._cohort_means(lower)
+        stages = sorted(set(upper_means) | set(lower_means))
+        delta = {
+            s: upper_means.get(s, 0.0) - lower_means.get(s, 0.0)
+            for s in stages
+        }
+        ranked = sorted(
+            (s for s in stages if s != UNTRACKED),
+            key=lambda s: -delta[s],
+        )
+        return {
+            "kind": kind,
+            "upper_quantile": upper_q,
+            "lower_quantile": lower_q,
+            "upper_count": upper_n,
+            "lower_count": lower_n,
+            "upper_mean_s": upper_means,
+            "lower_mean_s": lower_means,
+            "delta_s": delta,
+            "dominant": ranked[0] if ranked else None,
+        }

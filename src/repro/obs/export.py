@@ -26,6 +26,32 @@ _TID_SSD_BASE = 200
 CSV_COLUMNS = ("span_id", "parent_id", "name", "begin", "end", "tags")
 
 
+def _json_default(value):
+    """Coerce non-JSON-native tag values instead of corrupting exports.
+
+    Span tags routinely carry numpy scalars (``lba=np.int64(...)`` on
+    every ``nvme_io`` span when the batch LBAs arrive as an ndarray),
+    which ``json.dumps`` rejects outright.  Numpy scalars unwrap via
+    ``.item()``; sets/tuples/other containers become lists; anything
+    else degrades to its ``str()`` so an exotic tag can never take the
+    whole trace export down.
+    """
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) \
+            else list(value)
+    return str(value)
+
+
+def _dump_tags(tags: Dict[str, object]) -> str:
+    return json.dumps(tags, sort_keys=True, default=_json_default)
+
+
 def _spans(source) -> List[Span]:
     if hasattr(source, "spans"):
         source = source.spans()
@@ -84,6 +110,62 @@ def to_trace_events(source) -> List[Dict[str, object]]:
                 "args": {"name": label},
             }
         )
+    events.extend(_flow_events(spans))
+    return events
+
+
+def _flow_events(spans: List[Span]) -> List[Dict[str, object]]:
+    """Flow (``ph: s``/``f``) events for causal fan-in links.
+
+    A span tagged ``links=[trace_id, ...]`` (a coalesced ``batch``
+    serving a request, a hedged remote read) flow-links back to each
+    originating ``request`` root span, so the Perfetto UI draws arrows
+    from the request track into the shared span — the fan-out the
+    parent edges cannot express.
+    """
+    roots: Dict[int, Span] = {}
+    for span in spans:
+        if span.name == "request" and "trace_id" in span.tags:
+            roots[int(span.tags["trace_id"])] = span
+    events: List[Dict[str, object]] = []
+    started = set()
+    for span in spans:
+        links = span.tags.get("links")
+        if not links:
+            continue
+        for raw in links:
+            trace_id = int(raw)
+            root = roots.get(trace_id)
+            if root is None:
+                continue  # request root evicted; flow unresolvable
+            if trace_id not in started:
+                started.add(trace_id)
+                events.append(
+                    {
+                        "name": "request_flow",
+                        "cat": "flow",
+                        "ph": "s",
+                        "id": trace_id,
+                        "ts": root.begin * 1e6,
+                        "pid": 1,
+                        "tid": _tid(root),
+                        "args": {"trace_id": trace_id},
+                    }
+                )
+            events.append(
+                {
+                    "name": "request_flow",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": trace_id,
+                    "ts": span.begin * 1e6,
+                    "pid": 1,
+                    "tid": _tid(span),
+                    "args": {"trace_id": trace_id,
+                             "span_id": span.span_id},
+                }
+            )
     return events
 
 
@@ -103,7 +185,10 @@ def export_perfetto_json(source, path) -> int:
             "complete": dropped == 0,
         },
     }
-    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True,
+                   default=_json_default)
+    )
     return len(events)
 
 
@@ -121,7 +206,7 @@ def export_trace_csv(source, path) -> int:
                     span.name,
                     repr(span.begin),
                     repr(span.end),
-                    json.dumps(span.tags, sort_keys=True),
+                    _dump_tags(span.tags),
                 ]
             )
     return len(spans)

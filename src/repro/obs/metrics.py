@@ -113,7 +113,8 @@ class Histogram:
     dropped — the top of the ladder just loses resolution.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+    __slots__ = ("bounds", "bucket_counts", "sum", "count",
+                 "exemplar_trace_id", "exemplar_value")
     kind = "histogram"
 
     def __init__(self, bounds: Sequence[float]):
@@ -129,10 +130,20 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        #: exemplar: trace_id of the worst observation seen so far
+        #: (links the metric back to the causal trace, ISSUE 10)
+        self.exemplar_trace_id: Optional[int] = None
+        self.exemplar_value = 0.0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                trace_id: Optional[int] = None) -> None:
         self.sum += value
         self.count += 1
+        if trace_id is not None and (
+            self.exemplar_trace_id is None or value > self.exemplar_value
+        ):
+            self.exemplar_trace_id = trace_id
+            self.exemplar_value = value
         bounds = self.bounds
         # log-spaced ladders are short (~22): a linear scan beats bisect
         # on constant factors and reads simpler
@@ -141,6 +152,13 @@ class Histogram:
                 self.bucket_counts[index] += 1
                 return
         self.bucket_counts[len(bounds)] += 1
+
+    @property
+    def exemplar(self) -> Optional[Tuple[int, float]]:
+        """(trace_id, value) of the worst traced observation, if any."""
+        if self.exemplar_trace_id is None:
+            return None
+        return (self.exemplar_trace_id, self.exemplar_value)
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (q in [0, 1]) from the buckets.
@@ -345,6 +363,26 @@ class MetricsRegistry:
                     out[key] = instrument.value
         return out
 
+    def exemplars(self) -> Dict[str, Tuple[int, float]]:
+        """``family{labels} -> (trace_id, value)`` for every histogram
+        child holding an exemplar (its worst traced observation)."""
+        out: Dict[str, Tuple[int, float]] = {}
+        for family in self.families():
+            if family.kind != "histogram":
+                continue
+            for labels, instrument in family.series():
+                exemplar = instrument.exemplar
+                if exemplar is None:
+                    continue
+                suffix = ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                )
+                key = f"{family.name}{{{suffix}}}" if suffix else (
+                    family.name
+                )
+                out[key] = exemplar
+        return out
+
     def __repr__(self) -> str:
         return f"<MetricsRegistry {len(self._families)} families>"
 
@@ -361,7 +399,11 @@ class NullMetrics:
     enabled = False
     registry = None
 
-    def batch_done(self, op, latency, requests, nbytes, failures):
+    def batch_done(self, op, latency, requests, nbytes, failures,
+                   trace_id=None):
+        pass
+
+    def request_done(self, kind, latency, trace_id=None):
         pass
 
     def coalesced_group(self, reactor_id, submitted):
@@ -465,18 +507,32 @@ class Metrics:
             help="submission -> completion per kernel-stack request",
             unit="seconds", labels=("stack",),
         )
+        self.request_latency = r.histogram(
+            "cam_request_latency_seconds",
+            help="entry-point mint -> finish per causal request context "
+                 "(exemplars carry the worst request's trace_id)",
+            unit="seconds", labels=("kind",),
+        )
 
     # -- push helpers (hot path; callers guard with ``if enabled``) -----
     def batch_done(
         self, op: str, latency: float, requests: int, nbytes: int,
-        failures: int,
+        failures: int, trace_id: Optional[int] = None,
     ) -> None:
-        self.batch_latency.labels(op).observe(latency)
+        self.batch_latency.labels(op).observe(latency, trace_id=trace_id)
         self.batches.labels(op).inc()
         self.requests.labels(op).inc(requests)
         self.bytes.labels(op).inc(nbytes)
         if failures:
             self.batch_failures.child().inc(failures)
+
+    def request_done(
+        self, kind: str, latency: float,
+        trace_id: Optional[int] = None,
+    ) -> None:
+        self.request_latency.labels(kind).observe(
+            latency, trace_id=trace_id
+        )
 
     def coalesced_group(self, reactor_id: int, submitted: int) -> None:
         self.coalesced_groups.labels(reactor_id).inc()

@@ -233,6 +233,18 @@ class MetricsSampler:
             "tracer_dropped_spans",
             help="spans evicted from the tracer ring buffer",
         )
+        self._g_trace_active = gauge(
+            "trace_active_contexts",
+            help="request contexts minted but not yet finished",
+        )
+        self._g_trace_done = gauge(
+            "trace_completed_requests",
+            help="request contexts finished since tracing started",
+        )
+        self._g_trace_exemplars = gauge(
+            "trace_exemplar_count",
+            help="histogram children currently carrying a trace exemplar",
+        )
         self._g_inbox = gauge(
             "cam_inbox_depth", help="doorbell batches awaiting the poller",
         )
@@ -354,6 +366,11 @@ class MetricsSampler:
         tracer = self.env.tracer
         if tracer.enabled:
             self._g_dropped_spans.child().set(tracer.dropped_spans)
+            self._g_trace_active.child().set(tracer.contexts_active)
+            self._g_trace_done.child().set(tracer.contexts_completed)
+            self._g_trace_exemplars.child().set(
+                len(self.metrics.registry.exemplars())
+            )
 
         snapshot = self.metrics.registry.snapshot()
         sample = (now, snapshot)

@@ -54,6 +54,20 @@ SPAN_KINDS: Tuple[str, ...] = (
     # elastic core control (repro.core.elastic)
     "core_grow",
     "core_shrink",
+    # causal request tracing (repro.obs.causal, ISSUE 10)
+    "request",
+    "queue_wait",
+    "overload_backoff",
+    "doorbell",
+    "cache_hit",
+    "prefill",
+    "decode",
+    "load_wait",
+    "writeback_wait",
+    "fabric_transfer",
+    "hedge_wait",
+    "cache_fill",
+    "redrive_link",
 )
 
 #: default ring-buffer capacity (spans); enough for the quick experiment
@@ -107,7 +121,12 @@ class NullTracer:
     """
 
     enabled = False
+    causal = False
     dropped = 0
+    # causal-context counters (repro.obs.causal); always zero here
+    contexts_started = 0
+    contexts_active = 0
+    contexts_completed = 0
 
     @property
     def span_count(self) -> int:
@@ -159,17 +178,34 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, env, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, env, capacity: int = DEFAULT_CAPACITY,
+                 causal: bool = True):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
+        #: when False, span recording stays on but
+        #: :func:`~repro.obs.causal.mint_context` returns ``None`` —
+        #: the baseline the causal-overhead gate compares against
+        self.causal = causal
         self._ring: deque = deque()
         self._next_id = 0
         #: completed spans evicted because the ring was full
         self.dropped = 0
         #: spans begun over the tracer's lifetime (eviction-proof)
         self.begun = 0
+        #: monotonically increasing request trace-id source
+        self._next_trace_id = 0
+        #: causal request contexts minted / still open / finished
+        #: (maintained by :mod:`repro.obs.causal`)
+        self.contexts_started = 0
+        self.contexts_active = 0
+        self.contexts_completed = 0
+
+    def new_trace_id(self) -> int:
+        """Mint a fresh request trace id (monotonic, never reused)."""
+        self._next_trace_id += 1
+        return self._next_trace_id
 
     # -- recording ------------------------------------------------------
     def begin(
@@ -240,9 +276,15 @@ class Tracer:
         )
 
 
-def install_tracer(env, capacity: int = DEFAULT_CAPACITY) -> Tracer:
-    """Attach a recording :class:`Tracer` to ``env`` and return it."""
-    tracer = Tracer(env, capacity=capacity)
+def install_tracer(env, capacity: int = DEFAULT_CAPACITY,
+                   causal: bool = True) -> Tracer:
+    """Attach a recording :class:`Tracer` to ``env`` and return it.
+
+    ``causal=False`` keeps span recording on but disables request-
+    context minting (no ``request`` roots, no per-turn stage spans) —
+    the baseline for measuring the causal layer's own overhead.
+    """
+    tracer = Tracer(env, capacity=capacity, causal=causal)
     env.tracer = tracer
     return tracer
 

@@ -40,6 +40,7 @@ import numpy as np
 from repro.backends.base import StorageBackend
 from repro.cache.gpucache import GpuCache
 from repro.errors import ConfigurationError, OverloadError, ReproError
+from repro.obs.causal import mint_context
 from repro.serving.kvstore import KvBlockStore
 from repro.serving.metrics import ServingMetrics
 from repro.serving.sessions import Session, SessionPool, Turn
@@ -195,24 +196,43 @@ class ServingEngine:
         smetrics = self._smetrics
         if smetrics is not None:
             smetrics.session_started()
+        tracer = env.tracer
         for turn_index, turn in enumerate(session.turns):
             if turn_index:
                 yield env.timeout(turn.think_s)
             arrival = env.now
+            # each turn is a causal entry point: its context spans the
+            # queue wait through the final durable write-back
+            ctx = (
+                mint_context(
+                    tracer, "serving_turn",
+                    session=session.session_id, turn=turn_index,
+                )
+                if tracer.enabled else None
+            )
+            queue_span = (
+                ctx.begin("queue_wait") if ctx is not None else None
+            )
             with self._slots.request() as slot:
                 yield slot
+                if queue_span is not None:
+                    ctx.end(queue_span)
                 queue_wait = env.now - arrival
                 if smetrics is not None:
                     smetrics.decode_started(queue_wait)
                 self._result.queue_waits.append(queue_wait)
-                yield from self._turn(session, turn, arrival)
+                try:
+                    yield from self._turn(session, turn, arrival, ctx)
+                finally:
+                    if ctx is not None:
+                        ctx.finish(tokens=turn.decode_tokens)
                 if smetrics is not None:
                     smetrics.decode_finished()
         if smetrics is not None:
             smetrics.session_finished()
 
     def _turn(self, session: Session, turn: Turn,
-              arrival: float) -> Generator:
+              arrival: float, ctx=None) -> Generator:
         env = self.env
         store = self.store
         sid = session.session_id
@@ -220,6 +240,17 @@ class ServingEngine:
             self._cam_context.device_api()
             if self._cam_context is not None
             else None
+        )
+        if api is not None and ctx is not None:
+            # CAM batches rung by this turn join its request context
+            api.trace_ctx = ctx
+        # per-block backends that understand causal propagation (the
+        # disaggregated tier) get the context threaded through io()
+        io_kw = (
+            {"trace_ctx": ctx}
+            if ctx is not None
+            and getattr(self.backend, "accepts_trace_ctx", False)
+            else {}
         )
 
         # -- context load: prefetch evicted KV blocks ------------------
@@ -240,13 +271,20 @@ class ServingEngine:
                 fetch_lbas,
                 granularity=store.layout.block_bytes,
                 consumer=sid,
+                trace_ctx=ctx,
             )
             if plan.speculative_lbas:
                 env.process(self._speculate(plan))
             if plan.hit_lbas:
+                hit_span = (
+                    ctx.begin("cache_hit", blocks=len(plan.hit_lbas))
+                    if ctx is not None else None
+                )
                 yield env.timeout(cache.hit_seconds(
                     len(plan.hit_lbas) * store.layout.block_bytes
                 ))
+                if hit_span is not None:
+                    ctx.end(hit_span)
                 hit_set = set(plan.hit_lbas)
                 for block, lba in missing:
                     if lba in hit_set:
@@ -259,26 +297,33 @@ class ServingEngine:
                     yield from self._ring(
                         api.prefetch,
                         np.asarray(fetch_lbas, dtype=np.int64),
+                        ctx,
                     )
                 else:
                     load_procs = [
                         env.process(
                             self.backend.io(
                                 lba, store.layout.block_bytes,
-                                is_write=False,
+                                is_write=False, **io_kw,
                             )
                         )
                         for lba in fetch_lbas
                     ]
                 if not self.overlap:
                     # synchronous API: the load finishes before prefill
-                    yield from self._wait_load(api, load_procs)
+                    yield from self._wait_load(api, load_procs, ctx)
                     load_procs = []
                     pending_load = False
             if prefill:
+                prefill_span = (
+                    ctx.begin("prefill", tokens=turn.prompt_tokens)
+                    if ctx is not None else None
+                )
                 yield env.timeout(prefill)
+                if prefill_span is not None:
+                    ctx.end(prefill_span)
             if pending_load and self.overlap:
-                yield from self._wait_load(api, load_procs)
+                yield from self._wait_load(api, load_procs, ctx)
         except ReproError:
             if plan is not None:
                 cache.abort_demand(plan)
@@ -303,6 +348,10 @@ class ServingEngine:
         tokens_per_block = store.layout.tokens_per_block
         while produced < turn.decode_tokens:
             chunk = min(tokens_per_block, turn.decode_tokens - produced)
+            decode_span = (
+                ctx.begin("decode", tokens=chunk)
+                if ctx is not None else None
+            )
             if first_token:
                 yield env.timeout(self.decode_time_per_token)
                 ttft = env.now - arrival
@@ -310,12 +359,16 @@ class ServingEngine:
                 if self._smetrics is not None:
                     self._smetrics.first_token(ttft)
                 first_token = False
+                if ctx is not None:
+                    ctx.tracer.annotate(ctx.root, ttft=ttft)
                 if chunk > 1:
                     yield env.timeout(
                         (chunk - 1) * self.decode_time_per_token
                     )
             else:
                 yield env.timeout(chunk * self.decode_time_per_token)
+            if decode_span is not None:
+                ctx.end(decode_span)
             produced += chunk
             writeback.extend(store.append_tokens(sid, chunk))
             if writeback:
@@ -329,11 +382,18 @@ class ServingEngine:
                     # drain the previous async batch, ring the next one;
                     # both overlap with the following decode chunk
                     if cam_wb_pending:
+                        wb_span = (
+                            ctx.begin("writeback_wait")
+                            if ctx is not None else None
+                        )
                         yield from api.write_back_synchronize()
+                        if wb_span is not None:
+                            ctx.end(wb_span)
                     yield from self._ring(
                         api.write_back,
                         np.asarray([lba for _, lba in writeback],
                                    dtype=np.int64),
+                        ctx,
                     )
                     cam_wb_pending = True
                 elif self.overlap:
@@ -341,23 +401,37 @@ class ServingEngine:
                         env.process(
                             self.backend.io(
                                 lba, store.layout.block_bytes,
-                                is_write=True,
+                                is_write=True, **io_kw,
                             )
                         )
                         for _, lba in writeback
                     )
                 else:
+                    wb_span = (
+                        ctx.begin("writeback_wait",
+                                  blocks=len(writeback))
+                        if ctx is not None else None
+                    )
                     for _, lba in writeback:
                         yield from self.backend.io(
-                            lba, store.layout.block_bytes, is_write=True
+                            lba, store.layout.block_bytes,
+                            is_write=True, **io_kw,
                         )
+                    if wb_span is not None:
+                        ctx.end(wb_span)
                 writeback = []
 
         # -- turn end: every produced block durable on SSD -------------
-        if cam_wb_pending:
-            yield from api.write_back_synchronize()
-        if write_procs:
-            yield env.all_of(write_procs)
+        if cam_wb_pending or write_procs:
+            wb_span = (
+                ctx.begin("writeback_wait") if ctx is not None else None
+            )
+            if cam_wb_pending:
+                yield from api.write_back_synchronize()
+            if write_procs:
+                yield env.all_of(write_procs)
+            if wb_span is not None:
+                ctx.end(wb_span)
         store.unpin(pinned)
         self._result.turns_done += 1
         self._result.tokens_done += turn.decode_tokens
@@ -401,7 +475,7 @@ class ServingEngine:
             return
         cache.commit_speculative(plan)
 
-    def _ring(self, initiate, lbas: np.ndarray) -> Generator:
+    def _ring(self, initiate, lbas: np.ndarray, ctx=None) -> Generator:
         """Issue one CAM batch, re-ringing after admission sheds.
 
         ``initiate`` is ``api.prefetch`` or ``api.write_back``; a shed
@@ -412,7 +486,15 @@ class ServingEngine:
         granularity = self.store.layout.block_bytes
         for attempt in range(self.max_overload_retries + 1):
             try:
-                yield from initiate(lbas, None, granularity)
+                ring_span = (
+                    ctx.begin("doorbell", requests=len(lbas))
+                    if ctx is not None else None
+                )
+                try:
+                    yield from initiate(lbas, None, granularity)
+                finally:
+                    if ring_span is not None:
+                        ctx.end(ring_span)
                 return
             except OverloadError:
                 if attempt >= self.max_overload_retries:
@@ -420,15 +502,26 @@ class ServingEngine:
                 self._result.overload_retries += 1
                 if self._smetrics is not None:
                     self._smetrics.overload_retry()
+                backoff_span = (
+                    ctx.begin("overload_backoff", attempt=attempt)
+                    if ctx is not None else None
+                )
                 yield self.env.timeout(
                     self.overload_backoff_s * (attempt + 1)
                 )
+                if backoff_span is not None:
+                    ctx.end(backoff_span)
 
-    def _wait_load(self, api, load_procs) -> Generator:
+    def _wait_load(self, api, load_procs, ctx=None) -> Generator:
+        load_span = (
+            ctx.begin("load_wait") if ctx is not None else None
+        )
         if api is not None:
             yield from api.prefetch_synchronize()
         elif load_procs:
             yield self.env.all_of(load_procs)
+        if load_span is not None:
+            ctx.end(load_span)
 
     def __repr__(self) -> str:
         return (

@@ -634,11 +634,25 @@ class SpdkDriver:
 
         metrics = env.metrics
 
+        def link_redrive(ssd_index, local_lba):
+            # flow-link the redrive back to the originating request so
+            # cam-trace can attribute retry latency to its trace_id
+            if tracing and parent_span is not None:
+                tracer.instant(
+                    "redrive_link",
+                    parent=parent_span,
+                    ssd=ssd_index,
+                    lba=local_lba,
+                    trace_id=parent_span.tags.get("trace_id"),
+                    links=parent_span.tags.get("links"),
+                )
+
         def redrive(orig_index, ssd_index, local_lba, payload):
             """Process: the full per-request reliable path for one item
             (used for items that never reached the wire)."""
             if metrics.enabled:
                 metrics.redrive()
+            link_redrive(ssd_index, local_lba)
             try:
                 cqe = yield from reliability.run(
                     make_attempt(orig_index, ssd_index, local_lba, payload),
@@ -671,6 +685,7 @@ class SpdkDriver:
             """
             if metrics.enabled:
                 metrics.redrive()
+            link_redrive(ssd_index, local_lba)
             yield hop                # CQ-ring -> dispatcher wake
             yield env.timeout(0.0)   # per-command waiter event
             yield env.timeout(0.0)   # watchdog AnyOf condition

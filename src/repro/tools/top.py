@@ -231,6 +231,20 @@ def render_sample(
             f"{throttled:.0f}"
         )
 
+    # trace pane: present only when causal tracing is on (the sampler
+    # publishes trace_* gauges whenever env.tracer is enabled)
+    if "trace_active_contexts" in snap:
+        active_ctx = _scalar(snap, "trace_active_contexts")
+        done_ctx = _scalar(snap, "trace_completed_requests")
+        exemplars = _scalar(snap, "trace_exemplar_count")
+        dropped_spans = _scalar(snap, "tracer_dropped_spans")
+        lines.append("")
+        lines.append(
+            f"  TRACE    active contexts {active_ctx:5.0f}  "
+            f"completed {done_ctx:7.0f}  dropped spans "
+            f"{dropped_spans:6.0f}  exemplars {exemplars:4.0f}"
+        )
+
     # net pane: present only when the disaggregated tier published its
     # cam_net_* families (see repro.net)
     link_transfers = _by_label(snap, "cam_net_transfers_total", "link")

@@ -1,0 +1,346 @@
+"""cam-trace: request waterfalls and critical-path attribution.
+
+Consumes either a trace CSV written by
+:func:`~repro.obs.export.export_trace_csv` (``--trace``) or a built-in
+traced serving demo (``--demo``), and answers the three questions a tail
+investigation starts with:
+
+* ``--slowest N`` — which requests were slow?
+* ``--request <trace_id>`` — where did one of them spend its time?
+  (a per-span waterfall with depth, stage buckets and flow links)
+* ``--attribute p99`` — what makes the tail slow *as a population*?
+  (mean per-stage seconds for the p99 cohort vs the p50 cohort, the
+  stage with the largest positive delta flagged as dominant)
+
+The demo has seeded fault scenarios so the attribution output can be
+checked against a known-injected bottleneck::
+
+    PYTHONPATH=src python -m repro.tools.trace_cli --demo \
+        --scenario ssd-degrade --attribute p99      # media dominates
+    PYTHONPATH=src python -m repro.tools.trace_cli --demo \
+        --scenario fabric-brownout --attribute p99  # fabric dominates
+
+``--export trace.json`` writes the Perfetto JSON (complete events plus
+``ph: s``/``f`` flow arrows) for the run; ``--overhead-gate 1.10``
+re-runs the base scenario untraced and fails if tracing inflated
+wall-clock time beyond the given ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.obs.causal import CriticalPathAnalyzer, UNTRACKED
+
+#: quantile aliases accepted by ``--attribute``
+_QUANTILES = {"p90": 0.90, "p95": 0.95, "p99": 0.99, "p999": 0.999}
+
+SCENARIOS = ("base", "ssd-degrade", "fabric-brownout")
+
+
+# -- demo workloads ----------------------------------------------------
+
+def run_demo(scenario: str = "base", traced: bool = True,
+             num_sessions: int = 40, seed: int = 17,
+             causal: bool = True):
+    """One seeded serving run; returns ``(platform, tracer, result)``.
+
+    ``base`` and ``ssd-degrade`` serve from a CAM array (the degrade
+    multiplies every SSD's media time mid-run, so the p99 cohort is the
+    turns that hit the window); ``fabric-brownout`` serves from the
+    disaggregated tier with a deliberately tiny local cache so demand
+    misses cross the fabric, then slows both node links mid-run.
+    """
+    from repro.backends.base import make_backend
+    from repro.config import PlatformConfig
+    from repro.hw.faults import FaultInjector
+    from repro.hw.platform import Platform
+    from repro.obs.tracer import install_tracer
+    from repro.serving import (
+        KvBlockStore,
+        KvLayout,
+        ServingEngine,
+        SessionConfig,
+        SessionPool,
+    )
+
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {SCENARIOS}"
+        )
+    num_ssds = 4
+    injector = FaultInjector() if scenario == "ssd-degrade" else None
+    platform = Platform(
+        PlatformConfig(num_ssds=num_ssds), functional=False,
+        fault_injector=injector,
+    )
+    tracer = (
+        install_tracer(platform.env, causal=causal) if traced else None
+    )
+    if scenario == "fabric-brownout":
+        from repro.net import NetworkFaultInjector, build_disagg
+
+        net_injector = NetworkFaultInjector()
+        backend = build_disagg(
+            platform,
+            num_nodes=2,
+            tiered=True,
+            functional=False,
+            fault_injector=net_injector,
+            hedge_after=None,      # hedging would mask the brownout
+            capacity_bytes=4 * 4096,  # tiny local tier: misses go remote
+        )
+        for node in ("node0", "node1"):
+            net_injector.brownout(
+                node, factor=40.0, start=5e-3, duration=10.0
+            )
+    else:
+        backend = make_backend("cam", platform)
+        if injector is not None:
+            for ssd_id in range(num_ssds):
+                injector.degrade(
+                    ssd_id, factor=20.0, start=5e-3, duration=10.0
+                )
+    store = KvBlockStore(platform, KvLayout(), capacity_blocks=12)
+    pool = SessionPool(
+        SessionConfig(
+            num_sessions=num_sessions, seed=seed,
+            mean_think_s=5e-3, turns_min=2, turns_max=3,
+        )
+    )
+    # enough decode slots that queueing never masks the injected
+    # bottleneck in the tail cohort
+    engine = ServingEngine(
+        platform, backend, store, pool, max_concurrent_decodes=32
+    )
+    result = engine.run()
+    return platform, tracer, result
+
+
+# -- rendering ---------------------------------------------------------
+
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds * 1e6:10.1f}"
+
+
+def render_slowest(analyzer: CriticalPathAnalyzer, n: int,
+                   kind: Optional[str] = None) -> str:
+    lines = [
+        f"{'TRACE':>6}  {'KIND':>14}  {'WALL us':>10}  "
+        f"{'COVER':>6}  DOMINANT STAGE"
+    ]
+    for root in analyzer.slowest(n, kind=kind):
+        tid = int(root.tags["trace_id"])
+        attributed = analyzer.attribute(tid)
+        stages = {k: v for k, v in attributed.items() if k != UNTRACKED}
+        dominant = (
+            max(stages, key=stages.get) if stages else UNTRACKED
+        )
+        lines.append(
+            f"{tid:>6}  {root.tags.get('kind', '?'):>14}  "
+            f"{_fmt_s(root.duration)}  "
+            f"{analyzer.coverage(tid):6.1%}  {dominant}"
+        )
+    return "\n".join(lines)
+
+
+def render_waterfall(analyzer: CriticalPathAnalyzer,
+                     trace_id: int) -> str:
+    root = analyzer.root(trace_id)
+    lines = [
+        f"request {trace_id}  kind={root.tags.get('kind', '?')}  "
+        f"wall {root.duration * 1e6:.1f} us  "
+        f"coverage {analyzer.coverage(trace_id):.1%}",
+        f"{'OFFSET us':>10}  {'DUR us':>10}  {'STAGE':>12}  SPAN",
+    ]
+    for row in analyzer.waterfall(trace_id):
+        links = (
+            f"  ~> {','.join(str(t) for t in row['links'])}"
+            if row["links"] else ""
+        )
+        lines.append(
+            f"{_fmt_s(row['offset'])}  {_fmt_s(row['duration'])}  "
+            f"{(row['stage'] or '-'):>12}  "
+            f"{'  ' * row['depth']}{row['name']}{links}"
+        )
+    return "\n".join(lines)
+
+
+def render_attribution(analyzer: CriticalPathAnalyzer, quantile: str,
+                       kind: Optional[str] = None) -> str:
+    upper_q = _QUANTILES[quantile]
+    cohorts = analyzer.attribute_cohorts(upper_q=upper_q, kind=kind)
+    delta = cohorts["delta_s"]
+    lines = [
+        f"tail attribution  {quantile} cohort "
+        f"({cohorts['upper_count']} requests) vs p50 cohort "
+        f"({cohorts['lower_count']} requests)"
+        + (f"  kind={kind}" if kind else ""),
+        f"{'STAGE':>14}  {quantile.upper() + ' us':>12}  "
+        f"{'P50 us':>12}  {'DELTA us':>12}",
+    ]
+    for stage in sorted(delta, key=lambda s: -delta[s]):
+        marker = "  <-- dominant" if stage == cohorts["dominant"] else ""
+        lines.append(
+            f"{stage:>14}  "
+            f"{cohorts['upper_mean_s'].get(stage, 0.0) * 1e6:12.1f}  "
+            f"{cohorts['lower_mean_s'].get(stage, 0.0) * 1e6:12.1f}  "
+            f"{delta[stage] * 1e6:+12.1f}{marker}"
+        )
+    return "\n".join(lines)
+
+
+# -- overhead gate -----------------------------------------------------
+
+def overhead_ratio(scenario: str = "base", num_sessions: int = 80,
+                   repeats: int = 3) -> float:
+    """Wall-clock ratio: causal tracing on vs causal tracing off.
+
+    Both runs record spans (``install_tracer``); only request-context
+    minting and the per-stage causal spans differ, so the ratio
+    isolates what *this* layer costs on top of base span tracing.
+    Best-of-``repeats`` after a warm-up run, to keep interpreter
+    warm-up and allocator noise out of a CI gate.
+    """
+    run_demo(scenario, traced=True, num_sessions=num_sessions)  # warm-up
+
+    def best(causal: bool) -> float:
+        walls = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_demo(
+                scenario, traced=True, num_sessions=num_sessions,
+                causal=causal,
+            )
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    causal_on = best(True)
+    causal_off = best(False)
+    if causal_off <= 0:
+        return 1.0
+    return causal_on / causal_off
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cam-trace: causal request waterfalls and "
+                    "critical-path attribution"
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--trace", metavar="CSV",
+        help="span CSV written by export_trace_csv",
+    )
+    source.add_argument(
+        "--demo", action="store_true",
+        help="run the seeded traced serving demo",
+    )
+    parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="base",
+        help="demo fault scenario (default: base)",
+    )
+    parser.add_argument("--sessions", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--slowest", type=int, metavar="N",
+        help="table of the N slowest requests",
+    )
+    parser.add_argument(
+        "--request", type=int, metavar="TRACE_ID",
+        help="waterfall for one request",
+    )
+    parser.add_argument(
+        "--attribute", choices=sorted(_QUANTILES),
+        help="tail-vs-median stage attribution table",
+    )
+    parser.add_argument(
+        "--kind", help="restrict to one request kind "
+                       "(e.g. serving_turn, batch)",
+    )
+    parser.add_argument(
+        "--export", metavar="JSON",
+        help="with --demo, write the Perfetto JSON trace",
+    )
+    parser.add_argument(
+        "--csv", metavar="CSV",
+        help="with --demo, write the span CSV",
+    )
+    parser.add_argument(
+        "--overhead-gate", type=float, metavar="RATIO",
+        help="fail (exit 1) if traced/untraced wall-clock of the "
+             "chosen scenario exceeds RATIO",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.trace and not args.demo:
+        parser.error("pick a span source: --trace CSV or --demo")
+
+    if args.trace:
+        from repro.obs.export import load_trace_csv
+
+        spans = load_trace_csv(args.trace)
+        analyzer = CriticalPathAnalyzer(spans)
+        tracer = None
+    else:
+        _, tracer, _ = run_demo(
+            args.scenario, num_sessions=args.sessions, seed=args.seed
+        )
+        analyzer = CriticalPathAnalyzer(tracer)
+
+    requests = analyzer.request_ids()
+    print(
+        f"cam-trace: {len(analyzer.spans)} spans, "
+        f"{len(requests)} completed requests"
+    )
+
+    shown = False
+    if args.slowest:
+        print()
+        print(render_slowest(analyzer, args.slowest, kind=args.kind))
+        shown = True
+    if args.request is not None:
+        print()
+        print(render_waterfall(analyzer, args.request))
+        shown = True
+    if args.attribute:
+        print()
+        print(render_attribution(analyzer, args.attribute,
+                                 kind=args.kind))
+        shown = True
+    if not shown and requests:
+        print()
+        print(render_slowest(analyzer, 5, kind=args.kind))
+
+    if args.export:
+        if tracer is None:
+            parser.error("--export needs --demo (a live tracer)")
+        from repro.obs.export import export_perfetto_json
+
+        count = export_perfetto_json(tracer, args.export)
+        print(f"\nwrote {count} trace events to {args.export}")
+    if args.csv:
+        if tracer is None:
+            parser.error("--csv needs --demo (a live tracer)")
+        from repro.obs.export import export_trace_csv
+
+        count = export_trace_csv(tracer, args.csv)
+        print(f"wrote {count} spans to {args.csv}")
+
+    if args.overhead_gate:
+        ratio = overhead_ratio(args.scenario, num_sessions=args.sessions)
+        verdict = "ok" if ratio <= args.overhead_gate else "FAIL"
+        print(
+            f"\ntracing overhead: {ratio:.3f}x wall-clock "
+            f"(gate {args.overhead_gate:.2f}x) {verdict}"
+        )
+        if ratio > args.overhead_gate:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

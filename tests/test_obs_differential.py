@@ -160,6 +160,27 @@ def test_batch_io_time_definition_is_unified():
     assert value == platform.env.now - batch.submit_time
 
 
+def _serving_sim_end(scenario, traced, causal=True):
+    from repro.tools.trace_cli import run_demo
+
+    platform, _, result = run_demo(
+        scenario, traced=traced, num_sessions=20, causal=causal
+    )
+    return platform.env.now, result.turns_done
+
+
+@pytest.mark.parametrize("scenario", ["base", "fabric-brownout"])
+def test_causal_tracing_is_bit_identical_in_simulated_time(scenario):
+    """ISSUE 10 zero-cost contract: a serving run (CAM array, and the
+    disaggregated tier under a fabric brownout) replays the identical
+    event history whether causal tracing is enabled, reduced to bare
+    span recording, or fully disabled."""
+    bare = _serving_sim_end(scenario, traced=False)
+    spans_only = _serving_sim_end(scenario, traced=True, causal=False)
+    causal = _serving_sim_end(scenario, traced=True)
+    assert bare == spans_only == causal
+
+
 def test_reactor_utilization_and_timeline_are_consistent():
     platform, tracer, _ = _cam_batches(num_batches=2, requests=32)
     analyzer = TraceAnalyzer(tracer)

@@ -38,12 +38,35 @@ def test_trace_events_satisfy_trace_event_schema(cam_trace):
     assert events
     for event in events:
         assert REQUIRED_KEYS <= set(event), event
-        assert event["ph"] in ("X", "M")
+        assert event["ph"] in ("X", "M", "s", "f")
         assert isinstance(event["pid"], int)
         assert isinstance(event["tid"], int)
         if event["ph"] == "X":
             assert event["ts"] >= 0.0
             assert event["dur"] >= 0.0
+        if event["ph"] in ("s", "f"):
+            # flow events pair on a shared id; finish binds enclosing
+            assert "id" in event
+            if event["ph"] == "f":
+                assert event["bp"] == "e"
+
+
+def test_flow_events_link_batch_to_request(cam_trace):
+    """The coalesced batch flow-links back to its request root: one
+    ``s`` on the request track, one ``f`` at the batch span."""
+    events = to_trace_events(cam_trace)
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert starts and finishes
+    start_ids = {e["id"] for e in starts}
+    assert {e["id"] for e in finishes} <= start_ids
+    # every flow id is a completed request's trace_id
+    roots = {
+        e["args"]["trace_id"]
+        for e in events
+        if e["ph"] == "X" and e["name"] == "request"
+    }
+    assert start_ids <= roots
 
 
 def test_complete_events_carry_span_linkage(cam_trace):

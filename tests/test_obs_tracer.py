@@ -144,6 +144,7 @@ def test_enabled_tracer_records_the_full_span_vocabulary():
     _run_cam_batch(platform, requests=8)
     names = {span.name for span in tracer.spans()}
     assert names == {
+        "request",
         "batch",
         "doorbell_poll",
         "submit",

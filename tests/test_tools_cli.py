@@ -122,10 +122,10 @@ def test_export_cli_rejects_unknown(tmp_path):
 
 # --- cam-top serving pane ----------------------------------------------------
 
-def _serving_sampler(num_sessions=40):
+def _serving_sampler(num_sessions=40, traced=False):
     from repro.backends.base import make_backend
     from repro.hw.platform import Platform
-    from repro.obs import MetricsSampler, install_metrics
+    from repro.obs import MetricsSampler, install_metrics, install_tracer
     from repro.serving import (
         KvBlockStore,
         KvLayout,
@@ -135,6 +135,8 @@ def _serving_sampler(num_sessions=40):
     )
 
     platform = Platform(PlatformConfig(num_ssds=4), functional=False)
+    if traced:
+        install_tracer(platform.env)
     metrics = install_metrics(platform.env)
     backend = make_backend("cam", platform)
     store = KvBlockStore(platform, KvLayout(), capacity_blocks=128)
@@ -169,4 +171,59 @@ def test_cam_top_without_serving_has_no_pane():
     from repro.tools.top import render_top, run_demo
 
     _, _, sampler = run_demo(batches=2, requests=1024)
-    assert "SERVING" not in render_top(sampler)
+    screen = render_top(sampler)
+    assert "SERVING" not in screen
+    # no tracer installed -> no TRACE pane either
+    assert "TRACE" not in screen
+
+
+# --- cam-top trace pane (ISSUE 10) -------------------------------------------
+
+def test_cam_top_renders_trace_pane_when_tracing():
+    from repro.tools.top import render_top
+
+    sampler, result = _serving_sampler(num_sessions=20, traced=True)
+    screen = render_top(sampler)
+    assert "TRACE" in screen
+    assert "active contexts" in screen
+    assert "exemplars" in screen
+    # every turn completed a request context by the final sample
+    assert f"completed {result.turns_done:7.0f}" in screen
+    # the run finished: no request contexts still open
+    assert "active contexts     0" in screen
+
+
+def test_cam_top_untraced_serving_has_no_trace_pane():
+    from repro.tools.top import render_top
+
+    sampler, _ = _serving_sampler(num_sessions=20, traced=False)
+    screen = render_top(sampler)
+    assert "SERVING" in screen
+    assert "TRACE" not in screen
+
+
+# --- cam-trace CLI (ISSUE 10) ------------------------------------------------
+
+def test_cam_trace_demo_attribution_smoke(capsys, tmp_path):
+    from repro.tools.trace_cli import main as trace_main
+
+    out = tmp_path / "flow.json"
+    rc = trace_main([
+        "--demo", "--sessions", "10", "--slowest", "3",
+        "--attribute", "p99", "--export", str(out),
+    ])
+    assert rc == 0
+    screen = capsys.readouterr().out
+    assert "cam-trace:" in screen
+    assert "completed requests" in screen
+    assert "DOMINANT STAGE" in screen
+    assert "tail attribution" in screen
+    assert "<-- dominant" in screen
+    assert out.stat().st_size > 0
+
+
+def test_cam_trace_requires_a_source(capsys):
+    from repro.tools.trace_cli import main as trace_main
+
+    with pytest.raises(SystemExit):
+        trace_main([])
